@@ -1,0 +1,43 @@
+// Command httpbench runs the apachebench-style HTTP workload of Figure 11:
+// closed-loop clients fetching fixed-size responses over regular TCP, TCP
+// with link bonding, or MPTCP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mptcpgo/internal/experiments"
+)
+
+func main() {
+	mode := flag.String("mode", "mptcp", "transport: tcp | bonding | mptcp")
+	size := flag.Int("size", 100<<10, "transfer size in bytes")
+	clients := flag.Int("clients", 100, "number of concurrent closed-loop clients")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	sweep := flag.Bool("sweep", false, "run the full Figure 11 sweep instead of a single point")
+	quick := flag.Bool("quick", false, "smaller sweep (with -sweep)")
+	flag.Parse()
+
+	if *sweep {
+		if err := experiments.RunAndPrint(os.Stdout, "fig11", experiments.Options{Quick: *quick, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := experiments.RunFig11Point(*seed, *mode, *size, *clients, *requests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mode=%s size=%dKB clients=%d\n", *mode, *size>>10, *clients)
+	fmt.Printf("  completed:      %d (failed %d)\n", res.Completed, res.Failed)
+	fmt.Printf("  requests/sec:   %.1f\n", res.RequestsPerSec)
+	fmt.Printf("  mean latency:   %v\n", res.MeanLatency)
+	fmt.Printf("  p95 latency:    %v\n", res.P95Latency)
+	fmt.Printf("  bytes received: %d\n", res.BytesReceived)
+}

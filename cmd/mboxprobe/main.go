@@ -1,0 +1,25 @@
+// Command mboxprobe runs the middlebox traversal matrix: each middlebox
+// behaviour from §3/§4.1 of the paper is installed on an emulated path and
+// the tool reports whether MPTCP kept working, fell back to regular TCP or
+// reset the affected subflow — and whether the data transfer completed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mptcpgo/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter transfers")
+	seed := flag.Uint64("seed", 42, "base RNG seed")
+	flag.Parse()
+
+	err := experiments.RunAndPrint(os.Stdout, "mbox", experiments.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

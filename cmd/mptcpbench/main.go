@@ -1,0 +1,53 @@
+// Command mptcpbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	mptcpbench -list
+//	mptcpbench -run fig4
+//	mptcpbench -run all -quick
+//
+// Each experiment prints the same rows/series the corresponding figure in the
+// paper reports; EXPERIMENTS.md records a captured run next to the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mptcpgo/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "", "experiment id to run (or 'all')")
+	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
+	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed)")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("  %-10s %s\n", id, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> (or -run all) to execute one")
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	var err error
+	if strings.EqualFold(*run, "all") {
+		err = experiments.RunAll(os.Stdout, opt)
+	} else {
+		err = experiments.RunAndPrint(os.Stdout, *run, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

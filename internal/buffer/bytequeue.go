@@ -1,0 +1,90 @@
+// Package buffer provides the byte queues and reassembly structures used by
+// the TCP and MPTCP endpoints: application send queues, in-order receive
+// queues and the four out-of-order reassembly algorithms evaluated in §4.3 of
+// the paper (Regular, Tree, Shortcuts, AllShortcuts).
+package buffer
+
+// ByteQueue is a FIFO byte stream with an absolute offset for its head. It
+// backs both the subflow send buffer (offsets are subflow sequence numbers
+// relative to the ISN) and the connection-level receive queue (offsets are
+// data sequence numbers).
+type ByteQueue struct {
+	data []byte
+	// headOffset is the absolute stream offset of data[0].
+	headOffset uint64
+}
+
+// NewByteQueue returns an empty queue whose head sits at the given absolute
+// stream offset.
+func NewByteQueue(headOffset uint64) *ByteQueue {
+	return &ByteQueue{headOffset: headOffset}
+}
+
+// Len returns the number of buffered bytes.
+func (q *ByteQueue) Len() int { return len(q.data) }
+
+// HeadOffset returns the absolute offset of the first buffered byte.
+func (q *ByteQueue) HeadOffset() uint64 { return q.headOffset }
+
+// TailOffset returns the absolute offset one past the last buffered byte.
+func (q *ByteQueue) TailOffset() uint64 { return q.headOffset + uint64(len(q.data)) }
+
+// Append adds data at the tail of the stream.
+func (q *ByteQueue) Append(b []byte) {
+	q.data = append(q.data, b...)
+}
+
+// Peek returns up to n bytes starting at absolute offset off without removing
+// them. It returns nil if off is outside the buffered range.
+func (q *ByteQueue) Peek(off uint64, n int) []byte {
+	if off < q.headOffset || off >= q.TailOffset() {
+		return nil
+	}
+	start := int(off - q.headOffset)
+	end := start + n
+	if end > len(q.data) {
+		end = len(q.data)
+	}
+	return q.data[start:end]
+}
+
+// Pop removes and returns up to n bytes from the head of the queue.
+func (q *ByteQueue) Pop(n int) []byte {
+	if n > len(q.data) {
+		n = len(q.data)
+	}
+	out := append([]byte(nil), q.data[:n]...)
+	q.discard(n)
+	return out
+}
+
+// TrimTo discards all bytes before absolute offset off (typically the
+// cumulative acknowledgement point).
+func (q *ByteQueue) TrimTo(off uint64) {
+	if off <= q.headOffset {
+		return
+	}
+	n := off - q.headOffset
+	if n >= uint64(len(q.data)) {
+		q.headOffset = q.TailOffset()
+		q.data = q.data[:0]
+		q.headOffset = off
+		return
+	}
+	q.discard(int(n))
+}
+
+func (q *ByteQueue) discard(n int) {
+	q.headOffset += uint64(n)
+	// Compact occasionally instead of copying on every discard.
+	q.data = q.data[n:]
+	if cap(q.data) > 1<<16 && len(q.data) < cap(q.data)/4 {
+		q.data = append([]byte(nil), q.data...)
+	}
+}
+
+// Reset empties the queue and moves its head to the given offset.
+func (q *ByteQueue) Reset(headOffset uint64) {
+	q.data = q.data[:0]
+	q.headOffset = headOffset
+}

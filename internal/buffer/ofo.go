@@ -1,0 +1,108 @@
+package buffer
+
+// Item is one out-of-order segment held at the connection level, keyed by its
+// data sequence number.
+type Item struct {
+	// Seq is the absolute stream offset (data sequence number) of Data[0].
+	Seq uint64
+	// Data is the segment payload (already trimmed of any overlap with
+	// delivered data).
+	Data []byte
+	// Subflow identifies the subflow the segment arrived on; the Shortcuts
+	// algorithms exploit the fact that arrivals on one subflow are usually
+	// in data-sequence order.
+	Subflow int
+}
+
+// End returns the stream offset one past the item's last byte.
+func (it *Item) End() uint64 { return it.Seq + uint64(len(it.Data)) }
+
+// OfoQueue is an out-of-order reassembly queue. Implementations differ only
+// in how they locate the insertion point for a new segment, which is exactly
+// the cost §4.3 of the paper optimizes.
+type OfoQueue interface {
+	// Insert adds an item arriving on the given subflow. Fully duplicate
+	// items are dropped. It returns the number of elementary search steps
+	// (node visits / comparisons) performed, the proxy used for CPU cost.
+	Insert(it Item) int
+	// PopContiguous removes and returns the maximal run of items that starts
+	// exactly at nextSeq, in order. Items entirely below nextSeq are
+	// discarded.
+	PopContiguous(nextSeq uint64) []Item
+	// Len returns the number of queued items.
+	Len() int
+	// Bytes returns the number of queued payload bytes.
+	Bytes() int
+	// Steps returns the cumulative number of search steps since creation.
+	Steps() uint64
+	// Name returns the algorithm name used in reports.
+	Name() string
+}
+
+// Algorithm selects an out-of-order reassembly implementation.
+type Algorithm int
+
+// The four receive algorithms compared in Figure 8.
+const (
+	// AlgRegular scans the queue linearly from the head, as the unmodified
+	// Linux receive path does for out-of-order arrivals.
+	AlgRegular Algorithm = iota
+	// AlgTree keeps the queue in a balanced search tree (logarithmic
+	// insertion).
+	AlgTree
+	// AlgShortcuts keeps a per-subflow pointer to the expected insertion
+	// point; a correct prediction inserts in constant time.
+	AlgShortcuts
+	// AlgAllShortcuts additionally groups in-sequence items into batches and
+	// scans batches rather than items when the shortcut misses.
+	AlgAllShortcuts
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgRegular:
+		return "Regular"
+	case AlgTree:
+		return "Tree"
+	case AlgShortcuts:
+		return "Shortcuts"
+	case AlgAllShortcuts:
+		return "AllShortcuts"
+	default:
+		return "Unknown"
+	}
+}
+
+// Algorithms lists all implementations in the order Figure 8 reports them.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgRegular, AlgTree, AlgShortcuts, AlgAllShortcuts}
+}
+
+// NewOfoQueue constructs an out-of-order queue using the given algorithm.
+func NewOfoQueue(a Algorithm) OfoQueue {
+	switch a {
+	case AlgTree:
+		return newTreeQueue()
+	case AlgShortcuts:
+		return newListQueue(true, false)
+	case AlgAllShortcuts:
+		return newListQueue(true, true)
+	default:
+		return newListQueue(false, false)
+	}
+}
+
+// trimItem clips it against the already-delivered prefix ending at nextSeq.
+// It returns false if nothing remains.
+func trimItem(it *Item, nextSeq uint64) bool {
+	if it.End() <= nextSeq {
+		return false
+	}
+	if it.Seq < nextSeq {
+		cut := nextSeq - it.Seq
+		it.Data = it.Data[cut:]
+		it.Seq = nextSeq
+	}
+	return len(it.Data) > 0
+}

@@ -1,0 +1,750 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/buffer"
+	"mptcpgo/internal/cc"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sched"
+	"mptcpgo/internal/sim"
+	"mptcpgo/internal/tcp"
+)
+
+// Connection-level errors.
+var (
+	ErrAllSubflowsFailed = errors.New("mptcp: all subflows failed")
+	ErrAborted           = errors.New("mptcp: connection aborted")
+)
+
+// ConnStats aggregates connection-level counters.
+type ConnStats struct {
+	BytesWritten     uint64
+	BytesDelivered   uint64
+	MappingsSent     uint64
+	Reinjections     uint64
+	OpportunisticRtx uint64
+	Penalizations    uint64
+	ChecksumFailures uint64
+	UnmappedBytes    uint64
+	Fallbacks        uint64
+	SubflowsOpened   int
+	ConnLevelRtx     uint64
+}
+
+// txMapping is one in-flight data sequence mapping (sent, not yet DATA_ACKed).
+type txMapping struct {
+	dataSeq      uint64
+	length       int
+	subflow      *Subflow
+	sentAt       time.Duration
+	lastReinject time.Duration
+	reinjections int
+	// sfOffsetEnd is the subflow-relative offset just past the mapping's
+	// bytes on its original subflow; comparing it with the subflow's
+	// cumulative acknowledgement detects data that was acknowledged at the
+	// subflow level but never placed at the data level (a middlebox dropped
+	// the mapping, §3.3.5).
+	sfOffsetEnd uint64
+}
+
+func (m *txMapping) end() uint64 { return m.dataSeq + uint64(m.length) }
+
+// Connection is one MPTCP connection: a byte stream striped over one or more
+// TCP subflows, with connection-level sequence numbers, acknowledgements and
+// flow control.
+type Connection struct {
+	mgr *Manager
+	cfg Config
+	sim *sim.Simulator
+
+	isClient bool
+
+	localKey    Key
+	remoteKey   Key
+	localToken  uint32
+	remoteToken uint32
+	localIDSN   packet.DataSeq
+	remoteIDSN  packet.DataSeq
+
+	// mptcpActive is true once MP_CAPABLE has been (apparently) negotiated;
+	// fallback is true when the connection dropped to regular TCP semantics
+	// (stripped options, checksum failure on the last subflow, ...).
+	mptcpActive bool
+	fallback    bool
+
+	established bool
+	closed      bool
+	err         error
+
+	ccGroup   *cc.CoupledGroup
+	scheduler sched.Scheduler
+
+	subflows      []*Subflow
+	nextSubflowID int
+	// remoteAddrs are addresses learned through ADD_ADDR.
+	remoteAddrs []packet.Endpoint
+	// usedRemote tracks remote endpoints already used by a subflow.
+	usedRemote map[packet.Endpoint]bool
+
+	dialCfg struct {
+		remote packet.Endpoint
+		port   uint16
+	}
+
+	// ---- data-level send state (relative sequence numbers, 0-based) ----
+	autotunedSndBuf int
+	sndBuf        *buffer.ByteQueue
+	dataUna       uint64
+	dataNxt       uint64
+	rwndLimit     uint64
+	inflight      []*txMapping
+	dataFinQueued bool
+	dataFinSent   bool
+	dataFinAcked  bool
+	dataFinSeq    uint64
+	connRtx       *sim.Timer
+	pumping       bool
+
+	// ---- data-level receive state ----
+	rcvBuf           *buffer.ByteQueue
+	ofo              buffer.OfoQueue
+	ofoBySubflow     map[int]int
+	dataRcvNxt       uint64
+	remoteDataFin    bool
+	remoteDataFinSeq uint64
+	eofConsumed      bool
+	lastAdvertised   int
+
+	stats ConnStats
+
+	// Application callbacks (all optional).
+	OnReadable           func()
+	OnWritable           func()
+	OnEstablished        func()
+	OnClosed             func(error)
+	OnSubflowEstablished func(*Subflow)
+	OnFallback           func(reason string)
+}
+
+// newConnection builds the common parts of client and server connections.
+func newConnection(mgr *Manager, cfg Config, isClient bool) *Connection {
+	cfg = cfg.withDefaults()
+	c := &Connection{
+		mgr:        mgr,
+		cfg:        cfg,
+		sim:        mgr.host.Sim(),
+		isClient:   isClient,
+		scheduler:  sched.New(cfg.Scheduler),
+		ccGroup:    cc.NewCoupledGroup(),
+		sndBuf:       buffer.NewByteQueue(0),
+		rcvBuf:       buffer.NewByteQueue(0),
+		ofo:          buffer.NewOfoQueue(cfg.OfoAlgorithm),
+		ofoBySubflow: make(map[int]int),
+		usedRemote:   make(map[packet.Endpoint]bool),
+		rwndLimit:    64 << 10,
+	}
+	c.connRtx = c.sim.NewTimer(c.onConnRetransmitTimeout)
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Public accessors
+// ---------------------------------------------------------------------------
+
+// MPTCPActive reports whether multipath operation was negotiated and is still
+// in use.
+func (c *Connection) MPTCPActive() bool { return c.mptcpActive && !c.fallback }
+
+// Fallback reports whether the connection fell back to regular TCP.
+func (c *Connection) Fallback() bool { return c.fallback || !c.mptcpActive }
+
+// Established reports whether the connection can carry data.
+func (c *Connection) Established() bool { return c.established && !c.closed }
+
+// Closed reports whether the connection has fully terminated.
+func (c *Connection) Closed() bool { return c.closed }
+
+// Err returns the terminal error, if any.
+func (c *Connection) Err() error { return c.err }
+
+// Subflows returns the connection's current subflows.
+func (c *Connection) Subflows() []*Subflow { return c.subflows }
+
+// LocalToken returns the connection's local token.
+func (c *Connection) LocalToken() uint32 { return c.localToken }
+
+// ReassemblySteps returns the cumulative number of search steps performed by
+// the connection-level out-of-order queue; Figure 8 uses it (together with
+// the micro-benchmarks in bench_test.go) as the receiver CPU-cost proxy.
+func (c *Connection) ReassemblySteps() uint64 { return c.ofo.Steps() }
+
+// OfoAlgorithmName returns the reassembly algorithm in use.
+func (c *Connection) OfoAlgorithmName() string { return c.ofo.Name() }
+
+// Stats returns a copy of the connection counters.
+func (c *Connection) Stats() ConnStats { return c.stats }
+
+// Config returns the connection configuration.
+func (c *Connection) Config() Config { return c.cfg }
+
+// SenderMemory returns the bytes currently held in the connection-level send
+// queue (written but not yet DATA_ACKed) — the sender-side memory metric of
+// Figure 5.
+func (c *Connection) SenderMemory() int { return c.sndBuf.Len() }
+
+// ReceiverMemory returns the bytes held in the connection-level receive and
+// reassembly queues plus the subflow-level out-of-order queues — the
+// receiver-side memory metric of Figure 5.
+func (c *Connection) ReceiverMemory() int {
+	n := c.rcvBuf.Len() + c.ofo.Bytes()
+	for _, s := range c.subflows {
+		n += s.ep.ReceiveQueuedBytes()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Application byte-stream API
+// ---------------------------------------------------------------------------
+
+// Write queues application data and returns the number of bytes accepted
+// (bounded by the connection-level send buffer). It never blocks.
+func (c *Connection) Write(data []byte) int {
+	if c.closed || c.err != nil || c.dataFinQueued {
+		return 0
+	}
+	space := c.sendBufferSpace()
+	if space <= 0 {
+		return 0
+	}
+	if len(data) > space {
+		data = data[:space]
+	}
+	c.sndBuf.Append(data)
+	c.stats.BytesWritten += uint64(len(data))
+	c.pump()
+	return len(data)
+}
+
+// sendBufferSpace returns the free space in the connection-level send buffer,
+// honouring Mechanism 3's autotuned limit.
+func (c *Connection) sendBufferSpace() int {
+	return c.effectiveSendBuffer() - c.sndBuf.Len()
+}
+
+// effectiveSendBuffer implements Mechanism 3 (buffer autotuning): the send
+// buffer grows toward 2·Σxᵢ·RTTmax but never beyond the configured maximum.
+// Like the kernel's autotuning it only ever grows (shrinking it below the
+// data already in flight would starve the connection into a smaller and
+// smaller window).
+func (c *Connection) effectiveSendBuffer() int {
+	if !c.cfg.AutoTuneBuffers || c.Fallback() {
+		return c.cfg.SendBufBytes
+	}
+	var rate float64 // bytes per second
+	var rttMax time.Duration
+	usable := 0
+	for _, s := range c.subflows {
+		if !s.Usable() {
+			continue
+		}
+		usable++
+		rtt := s.ep.SRTT()
+		if rtt <= 0 {
+			rtt = time.Millisecond
+		}
+		rate += float64(s.ep.Cwnd()) / rtt.Seconds()
+		if rtt > rttMax {
+			rttMax = rtt
+		}
+	}
+	want := 128 << 10
+	if usable > 0 && rttMax > 0 {
+		if f := int(2 * rate * rttMax.Seconds()); f > want {
+			want = f
+		}
+	}
+	if want > c.autotunedSndBuf {
+		c.autotunedSndBuf = want
+	}
+	return minInt(c.autotunedSndBuf, c.cfg.SendBufBytes)
+}
+
+// receiveWindow returns the connection-level receive window advertised on
+// every subflow: the free space in the shared receive buffer (§3.3.1). The
+// shared pool holds unread in-order data, connection-level out-of-order data
+// and subflow-level out-of-order segments (whose data sequence numbers are
+// not yet known), so all three count against the window.
+func (c *Connection) receiveWindow() int {
+	win := c.cfg.RecvBufBytes - c.receiveBufferUsed()
+	if win < 0 {
+		win = 0
+	}
+	c.lastAdvertised = win
+	return win
+}
+
+func (c *Connection) receiveBufferUsed() int {
+	used := c.rcvBuf.Len() + c.ofo.Bytes()
+	for _, s := range c.subflows {
+		if s.ep != nil {
+			used += s.ep.ReceiveQueuedBytes()
+		}
+	}
+	return used
+}
+
+// Read removes and returns up to max bytes of in-order connection-level data.
+func (c *Connection) Read(max int) []byte {
+	if c.rcvBuf.Len() == 0 {
+		return nil
+	}
+	before := c.receiveWindowWouldBe()
+	data := c.rcvBuf.Pop(max)
+	c.stats.BytesDelivered += uint64(len(data))
+	// Window update: if reading freed a meaningful amount of the shared
+	// buffer, tell the peer so a stalled sender can resume.
+	after := c.receiveWindowWouldBe()
+	if (before < c.mssEstimate() && after >= c.mssEstimate()) || after-before >= c.cfg.RecvBufBytes/4 {
+		c.sendWindowUpdate()
+	}
+	return data
+}
+
+func (c *Connection) receiveWindowWouldBe() int {
+	win := c.cfg.RecvBufBytes - c.receiveBufferUsed()
+	if win < 0 {
+		win = 0
+	}
+	return win
+}
+
+// ReadableBytes returns the number of bytes Read would return immediately.
+func (c *Connection) ReadableBytes() int { return c.rcvBuf.Len() }
+
+// EOF reports whether the peer has signalled the end of the data stream
+// (DATA_FIN) and all data has been read.
+func (c *Connection) EOF() bool { return c.eofConsumed && c.rcvBuf.Len() == 0 }
+
+// Close closes the sending direction: a DATA_FIN is sent once all written
+// data has been mapped to subflows (§3.4).
+func (c *Connection) Close() {
+	if c.closed || c.dataFinQueued {
+		return
+	}
+	c.dataFinQueued = true
+	c.pump()
+}
+
+// Abort terminates the connection immediately: every subflow is reset.
+func (c *Connection) Abort() {
+	if c.closed {
+		return
+	}
+	for _, s := range c.subflows {
+		s.ep.SendReset()
+	}
+	c.finish(ErrAborted)
+}
+
+func (c *Connection) abortFromPeer() {
+	if c.closed {
+		return
+	}
+	for _, s := range c.subflows {
+		s.ep.SendReset()
+	}
+	c.finish(ErrReset)
+}
+
+// ErrReset mirrors the subflow-level reset error at the connection level.
+var ErrReset = errors.New("mptcp: connection reset by peer")
+
+// ---------------------------------------------------------------------------
+// Sequence number translation
+// ---------------------------------------------------------------------------
+
+// wireDataSeq converts a relative (0-based) data sequence number of our own
+// stream to the on-the-wire 64-bit value.
+func (c *Connection) wireDataSeq(rel uint64) packet.DataSeq {
+	return c.localIDSN + 1 + packet.DataSeq(rel)
+}
+
+// wireDataAck converts the connection-level cumulative receive point to the
+// wire DATA_ACK value (it acknowledges the peer's stream).
+func (c *Connection) wireDataAck() packet.DataSeq {
+	return c.remoteIDSN + 1 + packet.DataSeq(c.dataRcvNxt)
+}
+
+// relDataSeqFromRemoteWire converts a wire data sequence number of the peer's
+// stream to a relative offset.
+func (c *Connection) relDataSeqFromRemoteWire(w packet.DataSeq) uint64 {
+	return uint64(w - c.remoteIDSN - 1)
+}
+
+// relDataSeqFromLocalWire converts a wire DATA_ACK (which refers to our
+// stream) to a relative offset.
+func (c *Connection) relDataSeqFromLocalWire(w packet.DataSeq) uint64 {
+	return uint64(w - c.localIDSN - 1)
+}
+
+// mssEstimate returns a representative MSS across subflows.
+func (c *Connection) mssEstimate() int {
+	for _, s := range c.subflows {
+		if s.Usable() {
+			return s.ep.EffectiveMSS()
+		}
+	}
+	return 1460
+}
+
+// ---------------------------------------------------------------------------
+// Subflow lifecycle
+// ---------------------------------------------------------------------------
+
+// newSubflow allocates the Subflow wrapper (the tcp.Endpoint is attached by
+// the caller).
+func (c *Connection) newSubflow(role SubflowRole, client bool) *Subflow {
+	s := &Subflow{
+		conn:    c,
+		id:      c.nextSubflowID,
+		addrID:  uint8(c.nextSubflowID),
+		role:    role,
+		client:  client,
+		started: c.sim.Now(),
+	}
+	c.nextSubflowID++
+	c.subflows = append(c.subflows, s)
+	c.stats.SubflowsOpened++
+	return s
+}
+
+// onSubflowEstablished runs when a subflow completes its TCP handshake.
+func (c *Connection) onSubflowEstablished(s *Subflow) {
+	if c.closed {
+		return
+	}
+	if s.role == RoleInitial && !c.established {
+		c.established = true
+		if c.OnEstablished != nil {
+			c.OnEstablished()
+		}
+		// Open additional subflows shortly after the first one settles.
+		if c.isClient && c.MPTCPActive() {
+			delay := c.cfg.AddSubflowDelay
+			c.sim.Schedule(delay, c.openAdditionalSubflows)
+		}
+	}
+	if s.role == RoleJoin && c.OnSubflowEstablished != nil {
+		c.OnSubflowEstablished(s)
+	}
+	if s.role == RoleJoin && !c.isClient {
+		// Joined subflows on the server side become immediately usable for
+		// sending once validated (mpConfirmed set in OnSegmentReceived).
+		s.established = true
+	}
+	c.pump()
+}
+
+// openAdditionalSubflows creates subflows for the local interfaces not yet in
+// use, pairing each with the peer address advertised for it (or the address
+// at the same index when the peer is simply multihomed). When
+// SubflowsPerInterface is larger than one, several subflows (distinct source
+// ports) are opened per interface.
+func (c *Connection) openAdditionalSubflows() {
+	if c.closed || !c.MPTCPActive() || !c.isClient {
+		return
+	}
+	max := c.cfg.MaxSubflows
+	perIface := c.cfg.SubflowsPerInterface
+	if perIface < 1 {
+		perIface = 1
+	}
+	ifaces := c.mgr.host.Interfaces()
+	// Candidate remote endpoints: the one we dialed plus any advertised.
+	remotes := append([]packet.Endpoint{c.dialCfg.remote}, c.remoteAddrs...)
+	idx := 0
+	for _, ifc := range ifaces {
+		if !ifc.Attached() {
+			continue
+		}
+		have := c.subflowCountOnInterface(ifc)
+		// Prefer the remote address with the same "index" as this interface
+		// (pairwise paths); fall back to the dialed address.
+		remote := c.dialCfg.remote
+		if idx < len(remotes) {
+			remote = remotes[idx]
+		}
+		if c.usedRemote[remote] && have == 0 && len(remotes) > idx+1 {
+			remote = remotes[idx+1]
+		}
+		for have < perIface {
+			if max > 0 && len(c.subflows) >= max {
+				return
+			}
+			c.dialJoinSubflow(ifc, remote)
+			have++
+		}
+		idx++
+	}
+}
+
+// subflowCountOnInterface counts subflows bound to the interface.
+func (c *Connection) subflowCountOnInterface(ifc *netem.Interface) int {
+	n := 0
+	for _, s := range c.subflows {
+		if s.ep != nil && s.ep.Interface() == ifc {
+			n++
+		}
+	}
+	return n
+}
+
+// subflowOnInterface reports whether a subflow already uses the interface.
+func (c *Connection) subflowOnInterface(ifc *netem.Interface) bool {
+	for _, s := range c.subflows {
+		if s.ep != nil && s.ep.Interface() == ifc {
+			return true
+		}
+	}
+	return false
+}
+
+// dialJoinSubflow opens an MP_JOIN subflow from the given interface.
+func (c *Connection) dialJoinSubflow(ifc *netem.Interface, remote packet.Endpoint) {
+	s := c.newSubflow(RoleJoin, true)
+	s.localNonce = c.sim.RNG().Uint32()
+	cfg := c.cfg.subflowConfig(true)
+	cfg.CongestionControl = c.cfg.controllerFactory(c.ccGroup, true)
+	ep, err := tcp.Dial(ifc, remote, cfg, s)
+	if err != nil {
+		c.removeSubflow(s)
+		return
+	}
+	s.ep = ep
+	c.usedRemote[remote] = true
+}
+
+// onSubflowFailed handles a subflow that was reset by MPTCP itself (HMAC or
+// checksum failure, lost options).
+func (c *Connection) onSubflowFailed(s *Subflow, reason string) {
+	c.reinjectSubflowData(s)
+	c.removeSubflow(s)
+	if len(c.usableSubflows()) == 0 && !c.closed {
+		if !c.fallback {
+			c.finish(fmt.Errorf("%w: last failure: %s", ErrAllSubflowsFailed, reason))
+		}
+	}
+	c.pump()
+}
+
+// onSubflowClosed handles the underlying endpoint reaching CLOSED.
+func (c *Connection) onSubflowClosed(s *Subflow, err error) {
+	s.failed = true
+	if c.closed {
+		return
+	}
+	if err != nil {
+		// Unexpected subflow death: make sure its unacknowledged data gets
+		// retransmitted elsewhere.
+		c.reinjectSubflowData(s)
+	}
+	remaining := 0
+	for _, other := range c.subflows {
+		if other != s && !other.failed {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		c.maybeFinishAfterLastSubflow(err)
+		return
+	}
+	c.removeSubflow(s)
+	c.pump()
+}
+
+// maybeFinishAfterLastSubflow decides the terminal state once no subflows
+// remain.
+func (c *Connection) maybeFinishAfterLastSubflow(err error) {
+	cleanSend := !c.dataFinQueued || c.dataFinAcked || (c.Fallback() && c.sndBuf.Len() == 0)
+	cleanRecv := c.eofConsumed || !c.remoteDataFin || c.Fallback()
+	if err == nil && cleanSend && cleanRecv {
+		c.finish(nil)
+		return
+	}
+	if err == nil {
+		err = ErrAllSubflowsFailed
+	}
+	c.finish(err)
+}
+
+func (c *Connection) removeSubflow(s *Subflow) {
+	for i, other := range c.subflows {
+		if other == s {
+			c.subflows = append(c.subflows[:i], c.subflows[i+1:]...)
+			break
+		}
+	}
+	if coupled, ok := s.ep.Controller().(*cc.Coupled); ok && coupled != nil {
+		c.ccGroup.Remove(coupled)
+	}
+}
+
+func (c *Connection) usableSubflows() []*Subflow {
+	var out []*Subflow
+	for _, s := range c.subflows {
+		if s.Usable() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Address advertisement (§3.2) and mobility (§3.4)
+// ---------------------------------------------------------------------------
+
+// addrAdvertisements lists the ADD_ADDR options this host should send: one
+// per additional local interface.
+func (c *Connection) addrAdvertisements() []packet.AddAddrOption {
+	var out []packet.AddAddrOption
+	ifaces := c.mgr.host.Interfaces()
+	for i, ifc := range ifaces {
+		if i == 0 || !ifc.Attached() {
+			continue // the primary address is already known to the peer
+		}
+		out = append(out, packet.AddAddrOption{
+			AddrID: uint8(i),
+			Addr:   ifc.Addr(),
+			Port:   c.dialCfg.port,
+		})
+	}
+	return out
+}
+
+// onRemoteAddressAdvertised records an ADD_ADDR from the peer and, on the
+// client, considers opening a subflow toward it.
+func (c *Connection) onRemoteAddressAdvertised(opt packet.AddAddrOption) {
+	ep := packet.Endpoint{Addr: opt.Addr, Port: opt.Port}
+	if ep.Port == 0 {
+		ep.Port = c.dialCfg.remote.Port
+	}
+	for _, known := range c.remoteAddrs {
+		if known == ep {
+			return
+		}
+	}
+	c.remoteAddrs = append(c.remoteAddrs, ep)
+	if c.isClient && c.MPTCPActive() && c.established {
+		c.sim.Schedule(time.Millisecond, c.openAdditionalSubflows)
+	}
+}
+
+// onRemoteAddressRemoved closes subflows using a withdrawn address.
+func (c *Connection) onRemoteAddressRemoved(opt packet.RemoveAddrOption) {
+	for _, id := range opt.AddrIDs {
+		for _, s := range c.subflows {
+			if s.addrID == id && !s.failed {
+				s.failed = true
+				s.ep.SendReset()
+				c.reinjectSubflowData(s)
+			}
+		}
+	}
+	c.pump()
+}
+
+// ---------------------------------------------------------------------------
+// Fallback and termination
+// ---------------------------------------------------------------------------
+
+// enterFallback drops the connection to regular TCP semantics on its (single)
+// remaining subflow (§3.3.6, §7).
+func (c *Connection) enterFallback(reason string, keep *Subflow) {
+	if c.fallback {
+		return
+	}
+	c.fallback = true
+	c.stats.Fallbacks++
+	// Terminate every other subflow; the surviving one carries the rest of
+	// the connection as plain TCP.
+	for _, s := range c.subflows {
+		if s != keep && !s.failed {
+			s.failed = true
+			s.ep.SendReset()
+		}
+	}
+	if keep != nil {
+		c.subflows = []*Subflow{keep}
+	}
+	// From the fallback point onward incoming bytes map implicitly onto the
+	// data stream; anchor the implicit mapping at the current delivery
+	// point.
+	if keep != nil && keep.ep != nil {
+		keep.fallbackRxBase = uint64(keep.ep.RelativeRcvNxt())
+		keep.fallbackRxAnchor = c.dataRcvNxt
+		keep.fallbackTxBase = keep.ep.QueuedPayloadBytes()
+		keep.fallbackTxAnchor = c.dataNxt
+	}
+	if c.OnFallback != nil {
+		c.OnFallback(reason)
+	}
+	c.pump()
+}
+
+// finish terminates the connection and releases resources.
+func (c *Connection) finish(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.err = err
+	c.connRtx.Stop()
+	c.mgr.removeConnection(c)
+	if c.OnClosed != nil {
+		cb := c.OnClosed
+		c.OnClosed = nil
+		cb(err)
+	}
+}
+
+// checkDone closes the subflows once both directions have completed and
+// finishes the connection when every subflow is gone.
+func (c *Connection) checkDone() {
+	if c.closed {
+		return
+	}
+	if c.Fallback() {
+		// In fallback mode teardown follows the plain TCP FIN exchange on
+		// the single subflow; nothing extra to do here.
+		return
+	}
+	// Both directions are done: our DATA_FIN has been acknowledged and the
+	// peer's DATA_FIN has been consumed. Close the subflows gracefully; the
+	// connection finishes once the last one reaches CLOSED.
+	if c.dataFinAcked && c.eofConsumed {
+		for _, s := range c.subflows {
+			if !s.failed && s.ep != nil && s.ep.State() != tcp.StateClosed {
+				s.ep.Close()
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// harness bundles a built network with MPTCP managers on both hosts.
+type harness struct {
+	net     *netem.Network
+	cliMgr  *Manager
+	srvMgr  *Manager
+	t       *testing.T
+	serverC *Connection
+	clientC *Connection
+}
+
+func newHarness(t *testing.T, seed uint64, specs []netem.PathSpec) *harness {
+	t.Helper()
+	s := sim.New(seed)
+	n := netem.Build(s, specs...)
+	return &harness{
+		net:    n,
+		cliMgr: NewManager(n.Client),
+		srvMgr: NewManager(n.Server),
+		t:      t,
+	}
+}
+
+// transferResult summarises a bulk transfer.
+type transferResult struct {
+	received    int
+	finishedAt  time.Duration
+	markAt      time.Duration
+	clientConn  *Connection
+	serverConn  *Connection
+	sawEOF      bool
+	clientError error
+}
+
+// runBulkTransfer sends total bytes client->server using the given configs
+// and runs the simulation until deadline.
+func (h *harness) runBulkTransfer(clientCfg, serverCfg Config, total int, deadline time.Duration) transferResult {
+	return h.runBulkTransferMarked(clientCfg, serverCfg, total, deadline, 0)
+}
+
+// runBulkTransferMarked additionally records the time at which markBytes had
+// been received, so tests can compute steady-state rates that exclude the
+// slow-start transient.
+func (h *harness) runBulkTransferMarked(clientCfg, serverCfg Config, total int, deadline time.Duration, markBytes int) transferResult {
+	h.t.Helper()
+	res := transferResult{}
+
+	_, err := h.srvMgr.Listen(80, serverCfg, func(c *Connection) {
+		res.serverConn = c
+		h.serverC = c
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				res.received += len(data)
+			}
+			if markBytes > 0 && res.received >= markBytes && res.markAt == 0 {
+				res.markAt = h.net.Sim.Now()
+			}
+			if res.received >= total && res.finishedAt == 0 {
+				res.finishedAt = h.net.Sim.Now()
+			}
+			if c.EOF() {
+				res.sawEOF = true
+				c.Close()
+			}
+		}
+	})
+	if err != nil {
+		h.t.Fatalf("listen: %v", err)
+	}
+
+	conn, err := h.cliMgr.Dial(h.net.Client.Interfaces()[0],
+		packet.Endpoint{Addr: h.net.ServerAddr(0), Port: 80}, clientCfg)
+	if err != nil {
+		h.t.Fatalf("dial: %v", err)
+	}
+	res.clientConn = conn
+	h.clientC = conn
+
+	payload := make([]byte, 32<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sent := 0
+	pump := func() {
+		for sent < total {
+			n := minInt(len(payload), total-sent)
+			w := conn.Write(payload[:n])
+			if w == 0 {
+				return
+			}
+			sent += w
+		}
+		if sent >= total {
+			conn.Close()
+		}
+	}
+	conn.OnEstablished = pump
+	conn.OnWritable = pump
+	conn.OnClosed = func(err error) { res.clientError = err }
+
+	if err := h.net.Sim.RunUntil(deadline); err != nil {
+		h.t.Fatalf("sim: %v", err)
+	}
+	return res
+}
+
+func wifi3GConfig(total int) (Config, Config) {
+	cli := DefaultConfig()
+	cli.SendBufBytes = 512 << 10
+	cli.RecvBufBytes = 512 << 10
+	srv := cli
+	return cli, srv
+}
+
+func TestMPTCPNegotiationAndTransferTwoPaths(t *testing.T) {
+	h := newHarness(t, 1, netem.WiFi3GSpec())
+	cli, srv := wifi3GConfig(0)
+	total := 2 << 20
+	res := h.runBulkTransfer(cli, srv, total, 60*time.Second)
+
+	if res.received < total {
+		t.Fatalf("received %d of %d bytes", res.received, total)
+	}
+	if !res.clientConn.MPTCPActive() {
+		t.Fatal("client did not negotiate MPTCP")
+	}
+	if res.serverConn == nil || !res.serverConn.MPTCPActive() {
+		t.Fatal("server did not negotiate MPTCP")
+	}
+	if got := res.clientConn.Stats().SubflowsOpened; got < 2 {
+		t.Fatalf("client opened %d subflows, want at least 2", got)
+	}
+}
+
+func TestMPTCPUsesBothPaths(t *testing.T) {
+	// Over WiFi (8 Mbps) + 3G (2 Mbps), MPTCP with large buffers should at
+	// least match what TCP over the best single path (8 Mbps WiFi) achieves
+	// once past the slow-start / penalization transient, and must never
+	// exceed the physical aggregate.
+	h := newHarness(t, 2, netem.WiFi3GSpec())
+	cli := DefaultConfig()
+	cli.SendBufBytes = 1 << 20
+	cli.RecvBufBytes = 1 << 20
+	srv := cli
+	total := 24 << 20
+	res := h.runBulkTransferMarked(cli, srv, total, 120*time.Second, total/4)
+	if res.received < total {
+		t.Fatalf("received %d of %d bytes", res.received, total)
+	}
+	if res.finishedAt == 0 || res.markAt == 0 {
+		t.Fatal("transfer did not complete")
+	}
+	// Steady-state rate over the last three quarters of the transfer.
+	steadyBytes := float64(total - total/4)
+	steadyRate := steadyBytes * 8 / (res.finishedAt - res.markAt).Seconds() / 1e6
+	if steadyRate < 7.8 {
+		t.Fatalf("MPTCP steady-state throughput %.2f Mbps is below TCP on the best path (8 Mbps)", steadyRate)
+	}
+	if steadyRate > 10.5 {
+		t.Fatalf("MPTCP steady-state throughput %.2f Mbps exceeds the physical aggregate (10 Mbps)", steadyRate)
+	}
+}
+
+func TestGracefulCloseMPTCP(t *testing.T) {
+	h := newHarness(t, 3, netem.WiFi3GSpec())
+	cli, srv := wifi3GConfig(0)
+	total := 256 << 10
+	res := h.runBulkTransfer(cli, srv, total, 60*time.Second)
+	if res.received < total {
+		t.Fatalf("received %d of %d bytes", res.received, total)
+	}
+	if !res.sawEOF {
+		t.Fatal("server never observed EOF (DATA_FIN)")
+	}
+	if !res.clientConn.Closed() {
+		t.Fatalf("client connection not closed (err=%v)", res.clientConn.Err())
+	}
+	if res.clientConn.Err() != nil {
+		t.Fatalf("client closed with error: %v", res.clientConn.Err())
+	}
+	if res.serverConn == nil || !res.serverConn.Closed() {
+		t.Fatal("server connection not closed")
+	}
+}
+
+func TestFallbackWhenSYNOptionStripped(t *testing.T) {
+	h := newHarness(t, 4, netem.WiFi3GSpec())
+	// Strip MPTCP options from SYNs on the primary path.
+	h.net.Path(0).AddBox(&stripBox{synOnly: true})
+
+	cli, srv := wifi3GConfig(0)
+	total := 256 << 10
+	res := h.runBulkTransfer(cli, srv, total, 60*time.Second)
+	if res.received < total {
+		t.Fatalf("received %d of %d bytes after fallback", res.received, total)
+	}
+	if res.clientConn.MPTCPActive() {
+		t.Fatal("client should have fallen back to regular TCP")
+	}
+	if res.serverConn != nil && res.serverConn.MPTCPActive() {
+		t.Fatal("server should not consider MPTCP active")
+	}
+}
+
+func TestFallbackWhenDataOptionsStripped(t *testing.T) {
+	h := newHarness(t, 5, netem.WiFi3GSpec())
+	// Strip MPTCP options from every non-SYN segment: MPTCP negotiates on
+	// the handshake but must drop to regular TCP when the first data packet
+	// arrives without options (§3.1).
+	h.net.Path(0).AddBox(&stripBox{synOnly: false, skipSYN: true})
+	// Prevent the second subflow from carrying the transfer instead.
+	cli, srv := wifi3GConfig(0)
+	cli.MaxSubflows = 1
+	total := 128 << 10
+	res := h.runBulkTransfer(cli, srv, total, 120*time.Second)
+	if res.received < total {
+		t.Fatalf("received %d of %d bytes after mid-stream fallback", res.received, total)
+	}
+	if res.serverConn == nil || !res.serverConn.Fallback() {
+		t.Fatal("server should have fallen back to regular TCP")
+	}
+}
+
+// stripBox removes MPTCP options, optionally only from SYNs or only from
+// non-SYN segments.
+type stripBox struct {
+	synOnly bool
+	skipSYN bool
+	removed int
+}
+
+func (b *stripBox) Name() string { return "test-strip" }
+
+func (b *stripBox) Process(_ netem.BoxContext, _ netem.Direction, seg *packet.Segment) []*packet.Segment {
+	isSYN := seg.Flags.Has(packet.FlagSYN)
+	if b.synOnly && !isSYN {
+		return []*packet.Segment{seg}
+	}
+	if b.skipSYN && isSYN {
+		return []*packet.Segment{seg}
+	}
+	b.removed += seg.RemoveOptions(func(o packet.Option) bool { return o.Kind() == packet.OptMPTCP })
+	return []*packet.Segment{seg}
+}

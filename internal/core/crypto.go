@@ -1,0 +1,75 @@
+// Package core implements Multipath TCP as described in the paper: the
+// MP_CAPABLE/MP_JOIN handshakes with keys, tokens and HMAC validation, data
+// sequence mappings with optional checksums, explicit data-level
+// acknowledgements and DATA_FIN, the shared connection-level receive buffer
+// with the four reassembly algorithms, fallback to regular TCP, and the four
+// sender-side mechanisms of §4.2 (opportunistic retransmission, penalizing
+// slow subflows, buffer autotuning and congestion-window capping).
+//
+// The package builds on internal/tcp (one Endpoint per subflow) and presents
+// a byte-stream API equivalent to the TCP one, so unmodified "applications"
+// (the example programs, the HTTP workload generator) work over either.
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// Key is the 64-bit key exchanged in MP_CAPABLE (§3.2); it authenticates the
+// addition of new subflows for the lifetime of the connection.
+type Key uint64
+
+// GenerateKey draws a new random key.
+func GenerateKey(rng *sim.RNG) Key { return Key(rng.Uint64()) }
+
+// keyBytes returns the key in network byte order.
+func (k Key) bytes() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(k))
+	return b[:]
+}
+
+// Token derives the 32-bit connection identifier from a key: the most
+// significant 32 bits of the SHA-1 hash of the key, as in RFC 6824. MP_JOIN
+// SYNs carry the receiver's token so the passive opener can locate the
+// connection the new subflow belongs to.
+func (k Key) Token() uint32 {
+	sum := sha1.Sum(k.bytes())
+	return binary.BigEndian.Uint32(sum[0:4])
+}
+
+// IDSN derives the initial data sequence number from a key: the least
+// significant 64 bits of the SHA-1 hash of the key.
+func (k Key) IDSN() packet.DataSeq {
+	sum := sha1.Sum(k.bytes())
+	return packet.DataSeq(binary.BigEndian.Uint64(sum[12:20]))
+}
+
+// joinHMAC computes the MP_JOIN authentication code: HMAC-SHA1 keyed with
+// the concatenation of the two 64-bit keys over the two 32-bit nonces.
+func joinHMAC(keyLocal, keyRemote Key, nonceLocal, nonceRemote uint32) []byte {
+	mac := hmac.New(sha1.New, append(keyLocal.bytes(), keyRemote.bytes()...))
+	var msg [8]byte
+	binary.BigEndian.PutUint32(msg[0:4], nonceLocal)
+	binary.BigEndian.PutUint32(msg[4:8], nonceRemote)
+	mac.Write(msg[:])
+	return mac.Sum(nil)
+}
+
+// truncatedHMAC returns the first n bytes of an HMAC value.
+func truncatedHMAC(h []byte, n int) []byte {
+	if len(h) < n {
+		return h
+	}
+	return h[:n]
+}
+
+// hmacEqual compares two MACs in constant time semantics (length-checked).
+func hmacEqual(a, b []byte) bool {
+	return hmac.Equal(a, b)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"mptcpgo/internal/sim"
+)
+
+func TestTokenAndIDSNDeterministic(t *testing.T) {
+	k := Key(0x0102030405060708)
+	if k.Token() != Key(0x0102030405060708).Token() {
+		t.Fatal("token must be a pure function of the key")
+	}
+	if k.IDSN() == 0 && k.Token() == 0 {
+		t.Fatal("derivations should not be trivially zero")
+	}
+	if Key(1).Token() == Key(2).Token() {
+		t.Fatal("distinct keys should produce distinct tokens (SHA-1)")
+	}
+}
+
+func TestJoinHMACSymmetryAndValidation(t *testing.T) {
+	clientKey, serverKey := Key(111), Key(222)
+	clientNonce, serverNonce := uint32(0xaaaa), uint32(0xbbbb)
+
+	// The HMAC the server sends must be verifiable by the client computing
+	// with the arguments swapped the same way.
+	serverMAC := joinHMAC(serverKey, clientKey, serverNonce, clientNonce)
+	clientExpectation := joinHMAC(serverKey, clientKey, serverNonce, clientNonce)
+	if !hmacEqual(serverMAC, clientExpectation) {
+		t.Fatal("identical computation must produce identical MACs")
+	}
+	// Any change in keys or nonces must change the MAC (blind spoofing fails).
+	if hmacEqual(serverMAC, joinHMAC(serverKey, Key(333), serverNonce, clientNonce)) {
+		t.Fatal("MAC must depend on both keys")
+	}
+	if hmacEqual(serverMAC, joinHMAC(serverKey, clientKey, serverNonce, clientNonce+1)) {
+		t.Fatal("MAC must depend on the nonces")
+	}
+	if len(truncatedHMAC(serverMAC, 8)) != 8 {
+		t.Fatal("truncation length wrong")
+	}
+}
+
+func TestTokenTable(t *testing.T) {
+	table := NewTokenTable()
+	rng := sim.NewRNG(3)
+	conn := &Connection{}
+	key, token := table.GenerateUniqueKey(rng)
+	_ = key
+	if !table.Insert(token, conn) {
+		t.Fatal("first insert must succeed")
+	}
+	if table.Insert(token, conn) {
+		t.Fatal("duplicate insert must fail")
+	}
+	if table.Lookup(token) != conn {
+		t.Fatal("lookup must return the registered connection")
+	}
+	if table.Len() != 1 {
+		t.Fatalf("Len = %d", table.Len())
+	}
+	table.Remove(token)
+	if table.Lookup(token) != nil || table.Len() != 0 {
+		t.Fatal("remove did not clean up")
+	}
+}
+
+func TestGenerateUniqueKeyAvoidsCollisions(t *testing.T) {
+	table := NewTokenTable()
+	rng := sim.NewRNG(4)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 500; i++ {
+		_, token := table.GenerateUniqueKey(rng)
+		if seen[token] {
+			t.Fatal("GenerateUniqueKey returned a token already in the table")
+		}
+		seen[token] = true
+		table.Insert(token, nil)
+	}
+	if table.Len() != 500 {
+		t.Fatalf("table should hold 500 tokens, has %d", table.Len())
+	}
+}

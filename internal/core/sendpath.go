@@ -1,0 +1,468 @@
+package core
+
+import (
+	"time"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sched"
+)
+
+// pump is the sender engine: it maps application data onto subflows according
+// to the scheduler, enforces connection-level flow control and triggers the
+// sender-side mechanisms of §4.2 when the connection is receive-window
+// limited.
+func (c *Connection) pump() {
+	if c.pumping || c.closed || !c.established || c.err != nil {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+
+	if c.cfg.CwndCapping {
+		c.applyCwndCapping()
+	}
+
+	if c.Fallback() {
+		c.pumpFallback()
+		return
+	}
+
+	c.recoverDroppedMappings()
+
+	for {
+		avail := int64(c.sndBuf.TailOffset()) - int64(c.dataNxt)
+		if avail <= 0 {
+			break
+		}
+		fcSpace := int64(c.rwndLimit) - int64(c.dataNxt)
+		if fcSpace <= 0 {
+			// Receive-window limited: this is where opportunistic
+			// retransmission (M1) and penalization (M2) act.
+			c.onReceiveWindowLimited()
+			break
+		}
+		mss := c.mssEstimate()
+		want := int(avail)
+		if int64(want) > fcSpace {
+			want = int(fcSpace)
+		}
+		if want > mss {
+			want = mss
+		}
+		// Avoid connection-level silly-window syndrome: while data is in
+		// flight, wait until a full-MSS chunk can be sent rather than
+		// dribbling tiny mappings (the only exception is the final tail of
+		// the stream).
+		if want < mss && int(avail) >= mss && len(c.inflight) > 0 {
+			if fcSpace <= int64(mss) {
+				c.onReceiveWindowLimited()
+			}
+			break
+		}
+		cands, subs := c.schedulerCandidates()
+		idx := c.scheduler.Pick(cands, want)
+		if idx < 0 {
+			break
+		}
+		sf := subs[idx]
+		size := want
+		if m := sf.ep.EffectiveMSS(); size > m {
+			size = m
+		}
+		if sp := sf.ep.SendSpace(); size > sp {
+			size = sp
+		}
+		if size <= 0 {
+			break
+		}
+		data := c.sndBuf.Peek(c.dataNxt, size)
+		if len(data) == 0 {
+			break
+		}
+		if !c.sendMapping(sf, c.dataNxt, data, nil) {
+			break
+		}
+		c.dataNxt += uint64(len(data))
+	}
+
+	c.maybeSendDataFin()
+}
+
+// schedulerCandidates builds the scheduler's view of the current subflows.
+func (c *Connection) schedulerCandidates() ([]sched.Candidate, []*Subflow) {
+	subs := c.usableSubflows()
+	cands := make([]sched.Candidate, len(subs))
+	for i, s := range subs {
+		cands[i] = s
+	}
+	return cands, subs
+}
+
+// sendMapping transmits one chunk of connection-level data on a subflow with
+// its data sequence mapping. When reinject is non-nil this is a
+// retransmission of an existing mapping on a different subflow.
+func (c *Connection) sendMapping(sf *Subflow, dataSeq uint64, data []byte, reinject *txMapping) bool {
+	offset := uint32(sf.ep.QueuedPayloadBytes())
+	dss := &packet.DSSOption{
+		HasDataACK:    true,
+		DataACK:       c.wireDataAck(),
+		HasMapping:    true,
+		DataSeq:       c.wireDataSeq(dataSeq),
+		SubflowOffset: offset,
+		Length:        uint16(len(data)),
+	}
+	if c.cfg.UseDSSChecksum {
+		dss.HasChecksum = true
+		dss.Checksum = packet.DSSChecksum(dss.DataSeq, offset, dss.Length, data)
+	}
+	if !sf.ep.SendChunk(data, []packet.Option{dss}) {
+		return false
+	}
+	sf.chunksSent++
+	sf.bytesSent += uint64(len(data))
+	c.stats.MappingsSent++
+	now := c.sim.Now()
+	if reinject == nil {
+		c.inflight = append(c.inflight, &txMapping{
+			dataSeq:     dataSeq,
+			length:      len(data),
+			subflow:     sf,
+			sentAt:      now,
+			sfOffsetEnd: uint64(offset) + uint64(len(data)),
+		})
+	} else {
+		reinject.lastReinject = now
+		reinject.reinjections++
+		sf.reinjectsSent++
+		c.stats.Reinjections++
+	}
+	c.armConnRtx()
+	return true
+}
+
+// pumpFallback sends queued data as plain TCP on the single surviving
+// subflow.
+func (c *Connection) pumpFallback() {
+	sf := c.fallbackSubflow()
+	if sf == nil || !sf.ep.IsEstablished() {
+		return
+	}
+	for {
+		avail := int64(c.sndBuf.TailOffset()) - int64(c.dataNxt)
+		if avail <= 0 {
+			break
+		}
+		fcSpace := int64(c.rwndLimit) - int64(c.dataNxt)
+		if fcSpace <= 0 {
+			break
+		}
+		size := int(avail)
+		if int64(size) > fcSpace {
+			size = int(fcSpace)
+		}
+		if m := sf.ep.EffectiveMSS(); size > m {
+			size = m
+		}
+		if sp := sf.ep.SendSpace(); size > sp {
+			size = sp
+		}
+		if size <= 0 {
+			break
+		}
+		data := c.sndBuf.Peek(c.dataNxt, size)
+		if len(data) == 0 || !sf.ep.SendChunk(data, nil) {
+			break
+		}
+		c.dataNxt += uint64(len(data))
+	}
+	// In fallback mode the connection close is the plain subflow FIN.
+	if c.dataFinQueued && !c.dataFinSent && c.dataNxt == c.sndBuf.TailOffset() {
+		c.dataFinSent = true
+		c.dataFinSeq = c.dataNxt
+		sf.ep.Close()
+	}
+}
+
+// fallbackSubflow returns the subflow carrying a fallen-back connection.
+func (c *Connection) fallbackSubflow() *Subflow {
+	for _, s := range c.subflows {
+		if !s.failed {
+			return s
+		}
+	}
+	return nil
+}
+
+// onReceiveWindowLimited implements Mechanisms 1 and 2: when the shared
+// receive window is full, opportunistically retransmit the mapping at the
+// trailing edge of the window on a subflow that has congestion-window space,
+// and penalize the subflow responsible for holding the window up.
+func (c *Connection) onReceiveWindowLimited() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	if !c.cfg.OpportunisticRetransmit && !c.cfg.PenalizeSlowSubflows {
+		return
+	}
+	m := c.inflight[0]
+	now := c.sim.Now()
+
+	var fast *Subflow
+	if c.cfg.OpportunisticRetransmit {
+		cands, subs := c.schedulerCandidates()
+		if idx := c.scheduler.Pick(cands, m.length); idx >= 0 {
+			fast = subs[idx]
+		}
+		if fast != nil && fast != m.subflow {
+			// Rate-limit reinjection of the same mapping to roughly once per
+			// RTT of the fast path.
+			if m.lastReinject == 0 || now-m.lastReinject >= fast.ep.SRTT() {
+				data := c.sndBuf.Peek(m.dataSeq, m.length)
+				if len(data) == m.length {
+					if c.sendMapping(fast, m.dataSeq, data, m) {
+						c.stats.OpportunisticRtx++
+					}
+				}
+			}
+		}
+	}
+
+	if c.cfg.PenalizeSlowSubflows {
+		slow := m.subflow
+		if slow != nil && slow.Usable() && slow != fast {
+			if slow.lastPenalized == 0 || now-slow.lastPenalized >= slow.ep.SRTT() {
+				slow.ep.Controller().ForceReduce()
+				slow.lastPenalized = now
+				c.stats.Penalizations++
+			}
+		}
+	}
+}
+
+// applyCwndCapping implements Mechanism 4: when a subflow's smoothed RTT
+// exceeds twice its base RTT, the path's queue holds more than a
+// bandwidth-delay product of data; cap the congestion window near the BDP so
+// memory is not wasted filling network buffers.
+func (c *Connection) applyCwndCapping() {
+	for _, s := range c.subflows {
+		if !s.Usable() {
+			continue
+		}
+		srtt := s.ep.SRTT()
+		base := s.ep.BaseRTT()
+		if base <= 0 || srtt <= 0 {
+			continue
+		}
+		if srtt > 2*base {
+			// Estimated BDP: (cwnd / srtt) * baseRTT; allow twice that.
+			bdp := int(float64(s.ep.Cwnd()) * base.Seconds() / srtt.Seconds())
+			cap := maxInt(2*s.ep.EffectiveMSS(), 2*bdp)
+			s.ep.Controller().SetCwndCap(cap)
+		} else {
+			s.ep.Controller().SetCwndCap(0)
+		}
+	}
+}
+
+// maybeSendDataFin emits the DATA_FIN once all written data has been mapped
+// (§3.4).
+func (c *Connection) maybeSendDataFin() {
+	if !c.dataFinQueued || c.dataFinSent || c.Fallback() {
+		return
+	}
+	if c.dataNxt != c.sndBuf.TailOffset() {
+		return
+	}
+	c.dataFinSeq = c.dataNxt
+	c.dataNxt++
+	c.dataFinSent = true
+	// Carry the DATA_FIN on a pure ACK on every usable subflow; the
+	// connection-level retransmission timer repeats it if lost.
+	for _, s := range c.usableSubflows() {
+		s.ep.SendAck()
+	}
+	c.armConnRtx()
+}
+
+// onDataAck processes a data-level cumulative acknowledgement (explicit
+// DATA_ACK, or the subflow ACK standing in for it in fallback mode) together
+// with the receive window carried on the same segment.
+func (c *Connection) onDataAck(from *Subflow, relAck uint64, windowBytes int) {
+	if c.closed {
+		return
+	}
+	if c.Fallback() && from != nil {
+		// Translate the subflow-level acknowledgement into the data stream.
+		if relAck >= from.fallbackTxBase {
+			relAck = from.fallbackTxAnchor + (relAck - from.fallbackTxBase)
+		} else {
+			relAck = c.dataUna
+		}
+	}
+	if relAck > c.dataNxt {
+		relAck = c.dataNxt
+	}
+	if c.cfg.PerSubflowReceiveWindow && c.MPTCPActive() {
+		// With per-subflow windows (ablation) the subflow endpoints enforce
+		// flow control themselves; the connection level only needs a loose
+		// aggregate bound.
+		windowBytes = c.cfg.RecvBufBytes
+	}
+	if limit := relAck + uint64(windowBytes); limit > c.rwndLimit {
+		c.rwndLimit = limit
+	}
+	if relAck > c.dataUna {
+		c.dataUna = relAck
+		c.sndBuf.TrimTo(minUint64(c.dataUna, c.sndBuf.TailOffset()))
+		for len(c.inflight) > 0 && c.inflight[0].end() <= c.dataUna {
+			c.inflight = c.inflight[1:]
+		}
+		if c.dataFinSent && !c.dataFinAcked && c.dataUna >= c.dataFinSeq+1 {
+			c.dataFinAcked = true
+			c.checkDone()
+		}
+		if len(c.inflight) == 0 && (!c.dataFinSent || c.dataFinAcked) {
+			c.connRtx.Stop()
+		} else {
+			c.connRtx.Reset(c.connRtxInterval())
+		}
+		if c.OnWritable != nil && c.sendBufferSpace() > 0 && !c.dataFinQueued {
+			c.OnWritable()
+		}
+	}
+	c.pump()
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level retransmission (§3.3.5)
+// ---------------------------------------------------------------------------
+
+func (c *Connection) connRtxInterval() time.Duration {
+	if c.cfg.ConnRetransmitInterval > 0 {
+		return c.cfg.ConnRetransmitInterval
+	}
+	interval := 200 * time.Millisecond
+	for _, s := range c.usableSubflows() {
+		if rto := s.ep.RTO(); rto > interval {
+			interval = rto
+		}
+	}
+	return 2 * interval
+}
+
+func (c *Connection) armConnRtx() {
+	if c.connRtx.Pending() {
+		return
+	}
+	if len(c.inflight) == 0 && (!c.dataFinSent || c.dataFinAcked) {
+		return
+	}
+	c.connRtx.Reset(c.connRtxInterval())
+}
+
+// onConnRetransmitTimeout reinjects the first un-DATA-ACKed mapping on the
+// best available subflow: the sender frees connection-level memory only on
+// DATA_ACK, so data whose DATA_ACK never arrives (failed subflow, dropped
+// mapping) must eventually be retransmitted at the connection level.
+func (c *Connection) onConnRetransmitTimeout() {
+	if c.closed || c.Fallback() {
+		return
+	}
+	if len(c.inflight) == 0 && (!c.dataFinSent || c.dataFinAcked) {
+		return
+	}
+	if len(c.inflight) > 0 {
+		m := c.inflight[0]
+		cands, subs := c.schedulerCandidates()
+		if idx := c.scheduler.Pick(cands, m.length); idx >= 0 {
+			sf := subs[idx]
+			data := c.sndBuf.Peek(m.dataSeq, m.length)
+			if len(data) == m.length && c.sendMapping(sf, m.dataSeq, data, m) {
+				c.stats.ConnLevelRtx++
+			}
+		}
+	} else if c.dataFinSent && !c.dataFinAcked {
+		for _, s := range c.usableSubflows() {
+			s.ep.SendAck()
+			break
+		}
+	}
+	c.connRtx.Reset(c.connRtxInterval())
+}
+
+// recoverDroppedMappings reinjects mappings whose bytes have been
+// acknowledged at the subflow level but not at the data level for more than a
+// round-trip time: the receiver got the bytes but could not place them in the
+// data stream, which happens when a middlebox coalesced segments and dropped
+// one of the data sequence mappings (§3.3.5). Without this, such data would
+// only be repaired by the (much slower) connection-level timeout.
+func (c *Connection) recoverDroppedMappings() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	// Only the mapping at the trailing edge of the window can be judged:
+	// if its bytes have been acknowledged at the subflow level but the
+	// data-level cumulative ACK has not moved past it for several round
+	// trips, the receiver has the bytes but could not place them.
+	m := c.inflight[0]
+	sf := m.subflow
+	if sf == nil || sf.ep == nil {
+		return
+	}
+	if !sf.failed && uint64(sf.ep.RelativeSndUna()) < m.sfOffsetEnd {
+		return // not yet subflow-acked; normal in-flight data
+	}
+	now := c.sim.Now()
+	wait := 3 * sf.ep.SRTT()
+	if wait < 30*time.Millisecond {
+		wait = 30 * time.Millisecond
+	}
+	if now-m.sentAt < wait || (m.lastReinject != 0 && now-m.lastReinject < wait) {
+		return
+	}
+	cands, subs := c.schedulerCandidates()
+	idx := c.scheduler.Pick(cands, m.length)
+	if idx < 0 {
+		return
+	}
+	data := c.sndBuf.Peek(m.dataSeq, m.length)
+	if len(data) == m.length {
+		c.sendMapping(subs[idx], m.dataSeq, data, m)
+	}
+}
+
+// reinjectSubflowData requeues the un-DATA-ACKed mappings that were sent on a
+// failed subflow so they are retransmitted elsewhere promptly.
+func (c *Connection) reinjectSubflowData(failed *Subflow) {
+	if c.Fallback() {
+		return
+	}
+	for _, m := range c.inflight {
+		if m.subflow != failed {
+			continue
+		}
+		cands, subs := c.schedulerCandidates()
+		idx := c.scheduler.Pick(cands, m.length)
+		if idx < 0 {
+			// No subflow can take it right now; the connection-level
+			// retransmission timer will retry.
+			c.armConnRtx()
+			continue
+		}
+		sf := subs[idx]
+		if sf == failed {
+			continue
+		}
+		data := c.sndBuf.Peek(m.dataSeq, m.length)
+		if len(data) == m.length {
+			c.sendMapping(sf, m.dataSeq, data, m)
+		}
+	}
+}
+
+func minUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

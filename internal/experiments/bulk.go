@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+	"mptcpgo/internal/trace"
+)
+
+// BulkOptions describes one bulk-transfer run: a topology, a pair of
+// connection configurations and a measurement window. Every buffer-sweep
+// figure (4, 5, 6, 9) and the latency figure (7) is a set of such runs.
+type BulkOptions struct {
+	Seed  uint64
+	Specs []netem.PathSpec
+	// Boxes installs middlebox chains per path index.
+	Boxes map[int][]netem.Box
+
+	Client core.Config
+	Server core.Config
+	// ClientIface selects which client interface the initial subflow (or the
+	// single-path TCP connection) is dialed from.
+	ClientIface int
+
+	// Warmup is excluded from goodput/throughput/memory measurements.
+	Warmup time.Duration
+	// Duration is the total simulated run length.
+	Duration time.Duration
+
+	// MemorySampling records sender/receiver memory every SampleInterval.
+	MemorySampling bool
+	SampleInterval time.Duration
+
+	// BlockSize, when non-zero, makes the sender write timestamped blocks of
+	// this size and records application-level per-block latency (Figure 7).
+	BlockSize int
+
+	// HostCPU, when set, installs the host packet-processing cost model on
+	// both hosts (Figure 3's per-packet and software-checksum costs).
+	HostCPU *netem.CPUModel
+}
+
+// BulkResult summarises one bulk-transfer run.
+type BulkResult struct {
+	GoodputMbps    float64
+	ThroughputMbps float64
+	TotalReceived  int
+
+	SenderMemMeanKB   float64
+	SenderMemMaxKB    float64
+	ReceiverMemMeanKB float64
+	ReceiverMemMaxKB  float64
+
+	AppDelay *trace.Histogram
+
+	MPTCPActive       bool
+	ClientStats       core.ConnStats
+	ServerStats       core.ConnStats
+	ReassemblySteps   uint64
+	SegmentsDelivered uint64
+	Subflows          int
+}
+
+// RunBulk executes one bulk-transfer run and returns its measurements.
+func RunBulk(opt BulkOptions) (BulkResult, error) {
+	if opt.Duration <= 0 {
+		opt.Duration = 20 * time.Second
+	}
+	if opt.Warmup <= 0 || opt.Warmup >= opt.Duration {
+		opt.Warmup = opt.Duration / 5
+	}
+	if opt.SampleInterval <= 0 {
+		opt.SampleInterval = 100 * time.Millisecond
+	}
+
+	s := sim.New(opt.Seed)
+	net := netem.Build(s, opt.Specs...)
+	for idx, boxes := range opt.Boxes {
+		if idx < 0 || idx >= len(net.Paths) {
+			return BulkResult{}, fmt.Errorf("bulk: box index %d out of range", idx)
+		}
+		for _, b := range boxes {
+			net.Path(idx).AddBox(b)
+		}
+	}
+
+	if opt.HostCPU != nil {
+		net.Client.CPU = *opt.HostCPU
+		net.Server.CPU = *opt.HostCPU
+	}
+
+	cliMgr := core.NewManager(net.Client)
+	srvMgr := core.NewManager(net.Server)
+
+	received := 0
+	var serverConn *core.Connection
+	var blockDelays *trace.Histogram
+	var blockStarts []time.Duration
+	if opt.BlockSize > 0 {
+		blockDelays = trace.NewHistogram(10) // 10 ms bins, as in Figure 7
+	}
+
+	_, err := srvMgr.Listen(80, opt.Server, func(c *core.Connection) {
+		serverConn = c
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				prev := received
+				received += len(data)
+				if opt.BlockSize > 0 {
+					for blk := prev/opt.BlockSize + 1; blk <= received/opt.BlockSize; blk++ {
+						idx := blk - 1
+						if idx < len(blockStarts) && s.Now() >= opt.Warmup {
+							delayMs := float64(s.Now()-blockStarts[idx]) / float64(time.Millisecond)
+							blockDelays.Add(delayMs)
+						}
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return BulkResult{}, err
+	}
+
+	ifaces := net.Client.Interfaces()
+	if opt.ClientIface < 0 || opt.ClientIface >= len(ifaces) {
+		opt.ClientIface = 0
+	}
+	serverAddr := net.ServerAddr(opt.ClientIface)
+	conn, err := cliMgr.Dial(ifaces[opt.ClientIface], packet.Endpoint{Addr: serverAddr, Port: 80}, opt.Client)
+	if err != nil {
+		return BulkResult{}, err
+	}
+
+	// Unbounded source: keep the connection's send buffer full.
+	payload := make([]byte, 32<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	written := 0
+	pump := func() {
+		for {
+			n := len(payload)
+			if opt.BlockSize > 0 {
+				// Align writes to block boundaries so block start times are
+				// recorded exactly when a block's first byte is accepted.
+				n = opt.BlockSize - written%opt.BlockSize
+				if n > len(payload) {
+					n = len(payload)
+				}
+			}
+			w := conn.Write(payload[:n])
+			if w == 0 {
+				return
+			}
+			if opt.BlockSize > 0 {
+				// Record the start time of every block whose first byte was
+				// accepted by this write.
+				first := written / opt.BlockSize
+				if written%opt.BlockSize != 0 {
+					first++
+				}
+				last := (written + w - 1) / opt.BlockSize
+				for blk := first; blk <= last; blk++ {
+					for len(blockStarts) <= blk {
+						blockStarts = append(blockStarts, s.Now())
+					}
+				}
+			}
+			written += w
+		}
+	}
+	conn.OnEstablished = pump
+	conn.OnWritable = pump
+
+	// Memory samplers.
+	sndMem := trace.NewSampler()
+	rcvMem := trace.NewSampler()
+	if opt.MemorySampling {
+		var sample func()
+		sample = func() {
+			if s.Now() >= opt.Warmup {
+				sndMem.Record(float64(conn.SenderMemory())/1024, s.Now())
+				if serverConn != nil {
+					rcvMem.Record(float64(serverConn.ReceiverMemory())/1024, s.Now())
+				}
+			}
+			if s.Now() < opt.Duration {
+				s.Schedule(opt.SampleInterval, sample)
+			}
+		}
+		s.Schedule(opt.SampleInterval, sample)
+	}
+
+	// Warmup, then measure.
+	if err := s.RunUntil(opt.Warmup); err != nil {
+		return BulkResult{}, err
+	}
+	baselineReceived := received
+	baselineWire := forwardWireBytes(net)
+	if err := s.RunUntil(opt.Duration); err != nil {
+		return BulkResult{}, err
+	}
+
+	window := (opt.Duration - opt.Warmup).Seconds()
+	res := BulkResult{
+		TotalReceived:  received,
+		GoodputMbps:    float64(received-baselineReceived) * 8 / window / 1e6,
+		ThroughputMbps: float64(forwardWireBytes(net)-baselineWire) * 8 / window / 1e6,
+		MPTCPActive:    conn.MPTCPActive(),
+		ClientStats:    conn.Stats(),
+		AppDelay:       blockDelays,
+		Subflows:       len(conn.Subflows()),
+	}
+	if serverConn != nil {
+		res.ServerStats = serverConn.Stats()
+		res.ReassemblySteps = serverConn.ReassemblySteps()
+		for _, sf := range serverConn.Subflows() {
+			res.SegmentsDelivered += sf.Endpoint().Stats().SegmentsReceived
+		}
+	}
+	if opt.MemorySampling {
+		res.SenderMemMeanKB = sndMem.Mean()
+		res.SenderMemMaxKB = sndMem.Max()
+		res.ReceiverMemMeanKB = rcvMem.Mean()
+		res.ReceiverMemMaxKB = rcvMem.Max()
+	}
+	return res, nil
+}
+
+// forwardWireBytes sums the bytes delivered by the client-to-server links
+// (wire-level throughput including retransmissions and duplicates).
+func forwardWireBytes(n *netem.Network) uint64 {
+	var total uint64
+	for _, p := range n.Paths {
+		total += p.LinkAB().Stats().DeliveredBytes
+	}
+	return total
+}
+
+// mptcpVariants returns the three MPTCP configurations compared in Figure 4,
+// plus the single-path TCP baselines, keyed by display name.
+func tcpBaseline(buf int) core.Config {
+	cfg := core.TCPOnlyConfig()
+	cfg.SendBufBytes = buf
+	cfg.RecvBufBytes = buf
+	return cfg
+}
+
+func regularMPTCP(buf int) core.Config {
+	cfg := core.RegularMPTCPConfig()
+	cfg.SendBufBytes = buf
+	cfg.RecvBufBytes = buf
+	return cfg
+}
+
+func mptcpM1(buf int) core.Config {
+	cfg := core.RegularMPTCPConfig()
+	cfg.OpportunisticRetransmit = true
+	cfg.SendBufBytes = buf
+	cfg.RecvBufBytes = buf
+	return cfg
+}
+
+func mptcpM12(buf int) core.Config {
+	cfg := core.RegularMPTCPConfig()
+	cfg.OpportunisticRetransmit = true
+	cfg.PenalizeSlowSubflows = true
+	cfg.SendBufBytes = buf
+	cfg.RecvBufBytes = buf
+	return cfg
+}
+
+func mptcpM123(buf int) core.Config {
+	cfg := mptcpM12(buf)
+	cfg.AutoTuneBuffers = true
+	return cfg
+}
+
+func mptcpM1234(buf int) core.Config {
+	cfg := mptcpM123(buf)
+	cfg.CwndCapping = true
+	return cfg
+}
+
+func fmtMbps(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,149 @@
+// Package experiments contains one harness per table/figure in the paper's
+// evaluation. Each experiment builds its topology, runs the workload on the
+// discrete-event simulator and returns the rows/series the paper reports, so
+// `mptcpbench -run figN` (or the corresponding Benchmark in bench_test.go)
+// regenerates the figure's data.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options controls how an experiment is run.
+type Options struct {
+	// Quick shrinks transfer durations and sweep densities so the experiment
+	// finishes in a few seconds (used by `go test -bench` and CI); the full
+	// sweep is the default for the CLI.
+	Quick bool
+	// Seed is the base RNG seed; every run derives its own deterministic
+	// seed from it.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Table is one table or figure series produced by an experiment.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	// ID is the short identifier used on the command line (e.g. "fig4").
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(opt Options) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry (called from init functions).
+func Register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll runs every registered experiment and writes the tables to w.
+func RunAll(w io.Writer, opt Options) error {
+	for _, id := range IDs() {
+		if err := RunAndPrint(w, id, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAndPrint runs one experiment by id and writes its tables to w.
+func RunAndPrint(w io.Writer, id string, opt Options) error {
+	e, ok := Get(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	fmt.Fprintf(w, "# %s — %s\n\n", e.ID, e.Title)
+	tables, err := e.Run(opt)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	for _, t := range tables {
+		t.Fprint(w)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// rationale demonstrates the §3.3.1 design argument experimentally: if MPTCP
+// inherited TCP's per-subflow receive-window semantics, a subflow that fails
+// silently while holding the trailing edge of the window deadlocks the whole
+// connection; with the shared (connection-level) window the retransmission on
+// the surviving subflow always fits and the transfer completes.
+
+func init() {
+	Register(Experiment{
+		ID:    "rationale",
+		Title: "§3.3.1 — per-subflow vs shared receive window under silent subflow failure",
+		Run:   runRationale,
+	})
+}
+
+// runWindowScenario transfers data over WiFi+3G, fails the 3G path silently
+// mid-transfer, and reports how much the application ultimately received.
+func runWindowScenario(seed uint64, perSubflowWindow bool, total int, deadline time.Duration) (received int, completed bool, err error) {
+	s := sim.New(seed)
+	net := netem.Build(s, netem.WiFi3GSpec()...)
+
+	cfg := core.RegularMPTCPConfig()
+	cfg.PerSubflowReceiveWindow = perSubflowWindow
+	cfg.SendBufBytes = 64 << 10
+	cfg.RecvBufBytes = 64 << 10
+	// Disable the rescue mechanisms: the point of the experiment is the
+	// window semantics themselves.
+	cfg.OpportunisticRetransmit = false
+	cfg.PenalizeSlowSubflows = false
+
+	cliMgr := core.NewManager(net.Client)
+	srvMgr := core.NewManager(net.Server)
+
+	_, err = srvMgr.Listen(80, cfg, func(c *core.Connection) {
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				received += len(data)
+			}
+		}
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	conn, err := cliMgr.Dial(net.Client.Interfaces()[0], packet.Endpoint{Addr: net.ServerAddr(0), Port: 80}, cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	payload := make([]byte, 16<<10)
+	sent := 0
+	pump := func() {
+		for sent < total {
+			w := conn.Write(payload[:min(len(payload), total-sent)])
+			if w == 0 {
+				return
+			}
+			sent += w
+		}
+	}
+	conn.OnEstablished = pump
+	conn.OnWritable = pump
+
+	// Fail the 3G path silently once both subflows carry data.
+	s.Schedule(2*time.Second, func() { net.Path(1).SetDown(true) })
+
+	if err := s.RunUntil(deadline); err != nil {
+		return received, false, err
+	}
+	return received, received >= total, nil
+}
+
+func runRationale(opt Options) ([]*Table, error) {
+	opt = opt.withDefaults()
+	total := 2 << 20
+	deadline := 60 * time.Second
+	if opt.Quick {
+		total = 1 << 20
+		deadline = 30 * time.Second
+	}
+
+	table := NewTable("Silent 3G failure at t=2s, 64KB buffers, no rescue mechanisms",
+		"receive-window semantics", "bytes delivered", "transfer completed")
+	for _, perSubflow := range []bool{true, false} {
+		name := "shared connection-level window (MPTCP design)"
+		if perSubflow {
+			name = "per-subflow windows (naive TCP inheritance)"
+		}
+		received, completed, err := runWindowScenario(opt.Seed+9, perSubflow, total, deadline)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(name, fmt.Sprintf("%d / %d", received, total), fmt.Sprintf("%v", completed))
+	}
+	table.AddNote("paper §3.3.1: with per-subflow windows the data lost on the failed subflow cannot be resent on the surviving one once its window slice has filled — the connection deadlocks; the shared window avoids this by construction")
+	return []*Table{table}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package httpsim models the apachebench workload of Figure 11: a pool of
+// closed-loop clients that each open a connection, send a small request,
+// read a fixed-size response, close the connection and immediately issue the
+// next request. The server answers every request with the configured
+// transfer size.
+//
+// Both client and server run over the core package's connection API, so the
+// same workload can be driven over MPTCP, over plain TCP (EnableMPTCP=false)
+// and over TCP on a bonded link, which are exactly the three configurations
+// the figure compares.
+package httpsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+	"mptcpgo/internal/trace"
+)
+
+// requestSize is the size of the client's request message: a fixed header
+// carrying the desired response length.
+const requestSize = 128
+
+// ServerConfig configures the HTTP-like server.
+type ServerConfig struct {
+	Port uint16
+	Conn core.Config
+}
+
+// Server answers requests with the requested number of bytes.
+type Server struct {
+	listener *core.Listener
+	// Served counts completed responses.
+	Served uint64
+}
+
+// StartServer installs the server on the given manager.
+func StartServer(mgr *core.Manager, cfg ServerConfig) (*Server, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 80
+	}
+	s := &Server{}
+	l, err := mgr.Listen(cfg.Port, cfg.Conn, func(c *core.Connection) {
+		s.handle(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	return s, nil
+}
+
+func (s *Server) handle(c *core.Connection) {
+	var reqBuf []byte
+	responding := false
+	var remaining int
+	chunk := make([]byte, 32<<10)
+
+	var pumpResponse func()
+	pumpResponse = func() {
+		for remaining > 0 {
+			n := len(chunk)
+			if n > remaining {
+				n = remaining
+			}
+			w := c.Write(chunk[:n])
+			if w == 0 {
+				return
+			}
+			remaining -= w
+		}
+		if remaining == 0 && responding {
+			responding = false
+			s.Served++
+			c.Close()
+		}
+	}
+
+	c.OnReadable = func() {
+		for {
+			data := c.Read(4096)
+			if len(data) == 0 {
+				break
+			}
+			reqBuf = append(reqBuf, data...)
+		}
+		if !responding && len(reqBuf) >= requestSize {
+			size := int(binary.BigEndian.Uint32(reqBuf[0:4]))
+			reqBuf = reqBuf[requestSize:]
+			responding = true
+			remaining = size
+			pumpResponse()
+		}
+	}
+	c.OnWritable = pumpResponse
+}
+
+// ClientPoolConfig configures the closed-loop client pool.
+type ClientPoolConfig struct {
+	// Clients is the number of concurrent closed-loop clients
+	// (apachebench -c).
+	Clients int
+	// TotalRequests stops the benchmark after this many completed requests
+	// (apachebench -n). Zero means run until the deadline.
+	TotalRequests int
+	// TransferSize is the response size requested from the server.
+	TransferSize int
+	// ServerAddr and ServerPort identify the server.
+	ServerAddr packet.Addr
+	ServerPort uint16
+	// Conn is the connection configuration used for every request.
+	Conn core.Config
+	// Iface is the client interface to dial from.
+	Iface *netem.Interface
+}
+
+// PoolResult summarises a benchmark run.
+type PoolResult struct {
+	Completed      int
+	Failed         int
+	Duration       time.Duration
+	RequestsPerSec float64
+	MeanLatency    time.Duration
+	P95Latency     time.Duration
+	BytesReceived  uint64
+}
+
+// ClientPool drives the closed-loop clients.
+type ClientPool struct {
+	cfg     ClientPoolConfig
+	mgr     *core.Manager
+	sim     *sim.Simulator
+	started time.Duration
+
+	completed int
+	failed    int
+	bytes     uint64
+	latency   *trace.Sampler
+	stopped   bool
+}
+
+// NewClientPool creates a pool bound to the client's manager.
+func NewClientPool(mgr *core.Manager, cfg ClientPoolConfig) (*ClientPool, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.TransferSize <= 0 {
+		cfg.TransferSize = 64 << 10
+	}
+	if cfg.ServerPort == 0 {
+		cfg.ServerPort = 80
+	}
+	if cfg.Iface == nil {
+		if ifaces := mgr.Host().Interfaces(); len(ifaces) > 0 {
+			cfg.Iface = ifaces[0]
+		} else {
+			return nil, fmt.Errorf("httpsim: client host has no interfaces")
+		}
+	}
+	return &ClientPool{
+		cfg:     cfg,
+		mgr:     mgr,
+		sim:     mgr.Host().Sim(),
+		latency: trace.NewSampler(),
+	}, nil
+}
+
+// Start launches all clients at the current simulation time.
+func (p *ClientPool) Start() {
+	p.started = p.sim.Now()
+	for i := 0; i < p.cfg.Clients; i++ {
+		// Stagger client start slightly so the initial handshakes do not all
+		// collide in one burst.
+		delay := time.Duration(i) * 100 * time.Microsecond
+		p.sim.Schedule(delay, p.issueRequest)
+	}
+}
+
+// Stop prevents new requests from being issued.
+func (p *ClientPool) Stop() { p.stopped = true }
+
+// issueRequest opens a connection, sends one request and reads the response.
+func (p *ClientPool) issueRequest() {
+	if p.stopped || (p.cfg.TotalRequests > 0 && p.completed+p.failed >= p.cfg.TotalRequests) {
+		return
+	}
+	start := p.sim.Now()
+	conn, err := p.mgr.Dial(p.cfg.Iface, packet.Endpoint{Addr: p.cfg.ServerAddr, Port: p.cfg.ServerPort}, p.cfg.Conn)
+	if err != nil {
+		p.failed++
+		return
+	}
+
+	received := 0
+	done := false
+	finish := func(ok bool) {
+		if done {
+			return
+		}
+		done = true
+		if ok {
+			p.completed++
+			p.bytes += uint64(received)
+			p.latency.Record(float64(p.sim.Now()-start)/float64(time.Millisecond), p.sim.Now())
+		} else {
+			p.failed++
+		}
+		// Closed loop: immediately issue the next request.
+		p.sim.Schedule(0, p.issueRequest)
+	}
+
+	conn.OnEstablished = func() {
+		req := make([]byte, requestSize)
+		binary.BigEndian.PutUint32(req[0:4], uint32(p.cfg.TransferSize))
+		conn.Write(req)
+	}
+	conn.OnReadable = func() {
+		for {
+			data := conn.Read(64 << 10)
+			if len(data) == 0 {
+				break
+			}
+			received += len(data)
+		}
+		if conn.EOF() {
+			conn.Close()
+			finish(received >= p.cfg.TransferSize)
+		}
+	}
+	conn.OnClosed = func(err error) {
+		finish(err == nil && received >= p.cfg.TransferSize)
+	}
+}
+
+// Result returns the benchmark summary as of the current simulation time.
+func (p *ClientPool) Result() PoolResult {
+	dur := p.sim.Now() - p.started
+	res := PoolResult{
+		Completed:     p.completed,
+		Failed:        p.failed,
+		Duration:      dur,
+		BytesReceived: p.bytes,
+	}
+	if dur > 0 {
+		res.RequestsPerSec = float64(p.completed) / dur.Seconds()
+	}
+	if p.latency.Len() > 0 {
+		res.MeanLatency = time.Duration(p.latency.Mean() * float64(time.Millisecond))
+		res.P95Latency = time.Duration(p.latency.Percentile(95) * float64(time.Millisecond))
+	}
+	return res
+}

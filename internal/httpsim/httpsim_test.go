@@ -1,0 +1,65 @@
+package httpsim
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/sim"
+)
+
+func runPool(t *testing.T, cfg core.Config, clients, requests, size int) PoolResult {
+	t.Helper()
+	s := sim.New(5)
+	n := netem.Build(s, netem.DualGigabitSpec()...)
+	cliMgr := core.NewManager(n.Client)
+	srvMgr := core.NewManager(n.Server)
+
+	srv, err := StartServer(srvMgr, ServerConfig{Port: 80, Conn: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewClientPool(cliMgr, ClientPoolConfig{
+		Clients:       clients,
+		TotalRequests: requests,
+		TransferSize:  size,
+		ServerAddr:    n.ServerAddr(0),
+		ServerPort:    80,
+		Conn:          cfg,
+		Iface:         n.Client.Interfaces()[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Start()
+	if err := s.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Served == 0 {
+		t.Fatal("server served nothing")
+	}
+	return pool.Result()
+}
+
+func TestClosedLoopTCP(t *testing.T) {
+	cfg := core.TCPOnlyConfig()
+	res := runPool(t, cfg, 4, 40, 32<<10)
+	if res.Completed < 40 {
+		t.Fatalf("completed %d of 40 requests (failed %d)", res.Completed, res.Failed)
+	}
+	if res.RequestsPerSec <= 0 || res.MeanLatency <= 0 {
+		t.Fatalf("missing rate/latency: %+v", res)
+	}
+	if res.BytesReceived < uint64(40*32<<10) {
+		t.Fatalf("bytes received %d too small", res.BytesReceived)
+	}
+}
+
+func TestClosedLoopMPTCP(t *testing.T) {
+	cfg := core.DefaultConfig()
+	res := runPool(t, cfg, 4, 30, 64<<10)
+	if res.Completed < 30 {
+		t.Fatalf("completed %d of 30 requests (failed %d)", res.Completed, res.Failed)
+	}
+}

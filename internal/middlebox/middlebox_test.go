@@ -1,0 +1,227 @@
+package middlebox
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+type nopCtx struct{ s *sim.Simulator }
+
+func (c nopCtx) Now() time.Duration                               { return c.s.Now() }
+func (c nopCtx) Sim() *sim.Simulator                              { return c.s }
+func (c nopCtx) Inject(dir netem.Direction, seg *packet.Segment) {}
+
+// collectCtx records injected segments.
+type collectCtx struct {
+	s        *sim.Simulator
+	injected []*packet.Segment
+}
+
+func (c *collectCtx) Now() time.Duration  { return c.s.Now() }
+func (c *collectCtx) Sim() *sim.Simulator { return c.s }
+func (c *collectCtx) Inject(dir netem.Direction, seg *packet.Segment) {
+	c.injected = append(c.injected, seg)
+}
+
+func dataSeg(seq packet.SeqNum, payload string) *packet.Segment {
+	return &packet.Segment{
+		Src:     packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 1), Port: 1000},
+		Dst:     packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 2), Port: 80},
+		Seq:     seq,
+		Ack:     1,
+		Flags:   packet.FlagACK | packet.FlagPSH,
+		Payload: []byte(payload),
+		Options: []packet.Option{&packet.DSSOption{HasMapping: true, DataSeq: 1, SubflowOffset: uint32(seq), Length: uint16(len(payload))}},
+	}
+}
+
+func TestNATRewritesAndRestores(t *testing.T) {
+	n := NewNAT(packet.MakeAddr(100, 64, 0, 1), true)
+	ctx := nopCtx{s: sim.New(1)}
+	seg := dataSeg(1, "x")
+	orig := seg.Src
+	out := n.Process(ctx, netem.AtoB, seg)
+	if len(out) != 1 || out[0].Src.Addr != packet.MakeAddr(100, 64, 0, 1) {
+		t.Fatal("NAT did not rewrite the source address")
+	}
+	reply := &packet.Segment{Src: out[0].Dst, Dst: out[0].Src, Flags: packet.FlagACK}
+	back := n.Process(ctx, netem.BtoA, reply)
+	if back[0].Dst != orig {
+		t.Fatalf("reverse translation wrong: got %v want %v", back[0].Dst, orig)
+	}
+}
+
+func TestSeqRewriterConsistency(t *testing.T) {
+	r := NewSeqRewriter(1000)
+	ctx := nopCtx{s: sim.New(1)}
+	seg := dataSeg(500, "abc")
+	out := r.Process(ctx, netem.AtoB, seg)
+	if out[0].Seq != 1500 {
+		t.Fatalf("forward seq = %d, want 1500", out[0].Seq)
+	}
+	// An ACK coming back for the rewritten space must be shifted back.
+	ack := &packet.Segment{Src: seg.Dst, Dst: seg.Src, Flags: packet.FlagACK, Ack: 1503}
+	back := r.Process(ctx, netem.BtoA, ack)
+	if back[0].Ack != 503 {
+		t.Fatalf("reverse ack = %d, want 503", back[0].Ack)
+	}
+}
+
+func TestOptionStripperSYNOnly(t *testing.T) {
+	s := NewOptionStripper(true)
+	ctx := nopCtx{s: sim.New(1)}
+	syn := &packet.Segment{Flags: packet.FlagSYN, Options: []packet.Option{&packet.MPCapableOption{SenderKey: 5}, &packet.MSSOption{MSS: 1460}}}
+	s.Process(ctx, netem.AtoB, syn)
+	if syn.HasMPTCP() {
+		t.Fatal("MPTCP option should be stripped from the SYN")
+	}
+	if syn.FindOption(packet.OptMSS) == nil {
+		t.Fatal("non-MPTCP options must be preserved")
+	}
+	data := dataSeg(1, "x")
+	s.Process(ctx, netem.AtoB, data)
+	if !data.HasMPTCP() {
+		t.Fatal("SYN-only stripper must not touch data segments")
+	}
+}
+
+func TestSplitterCopiesOptions(t *testing.T) {
+	sp := NewSplitter(4)
+	ctx := nopCtx{s: sim.New(1)}
+	seg := dataSeg(100, "abcdefghij")
+	out := sp.Process(ctx, netem.AtoB, seg)
+	if len(out) != 3 {
+		t.Fatalf("expected 3 fragments, got %d", len(out))
+	}
+	total := 0
+	for i, frag := range out {
+		total += len(frag.Payload)
+		if frag.MPTCPOption(packet.SubDSS) == nil {
+			t.Fatalf("fragment %d lost the DSS option (TSO copies options)", i)
+		}
+		if frag.Seq != packet.SeqNum(100+ i*4) {
+			t.Fatalf("fragment %d has seq %d", i, frag.Seq)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("fragments carry %d bytes, want 10", total)
+	}
+}
+
+func TestCoalescerMergesAndKeepsOneOptionSet(t *testing.T) {
+	s := sim.New(1)
+	c := NewCoalescer(2, 1<<20)
+	ctx := &collectCtx{s: s}
+	a := dataSeg(0, "aaaa")
+	b := dataSeg(4, "bbbb")
+	out := c.Process(ctx, netem.AtoB, a)
+	if len(out) != 0 {
+		t.Fatal("first segment should be held")
+	}
+	out = c.Process(ctx, netem.AtoB, b)
+	if len(out) != 1 {
+		t.Fatalf("expected one merged segment, got %d", len(out))
+	}
+	if string(out[0].Payload) != "aaaabbbb" {
+		t.Fatalf("merged payload = %q", out[0].Payload)
+	}
+	if len(out[0].Options) != len(a.Options) {
+		t.Fatal("merged segment should keep only the first segment's options")
+	}
+	// A held segment with no follow-up must eventually be flushed by the
+	// timer so data is never stuck at the middlebox.
+	c2 := NewCoalescer(2, 1<<20)
+	ctx2 := &collectCtx{s: s}
+	c2.Process(ctx2, netem.AtoB, dataSeg(0, "zzzz"))
+	_ = s.RunFor(10 * time.Millisecond)
+	if len(ctx2.injected) != 1 {
+		t.Fatalf("held segment was not flushed, injected=%d", len(ctx2.injected))
+	}
+}
+
+func TestProactiveACKerContiguityAndRetransmit(t *testing.T) {
+	s := sim.New(1)
+	p := NewProactiveACKer()
+	ctx := &collectCtx{s: s}
+	p.Process(ctx, netem.AtoB, dataSeg(0, "aaaa"))
+	if len(ctx.injected) != 1 || ctx.injected[0].Ack != 4 {
+		t.Fatalf("expected a proxy ACK for 4, got %+v", ctx.injected)
+	}
+	// A gap: segment at 8 while 4..8 is missing must NOT be acked.
+	p.Process(ctx, netem.AtoB, dataSeg(8, "cccc"))
+	if len(ctx.injected) != 1 {
+		t.Fatal("proxy must not acknowledge past a hole")
+	}
+	// Receiver duplicate ACKs for 4 (three of them) trigger a proxy
+	// retransmission of the buffered segment starting at 4 — once it exists.
+	p.Process(ctx, netem.AtoB, dataSeg(4, "bbbb"))
+	recvAck := &packet.Segment{Src: dataSeg(0, "").Dst, Dst: dataSeg(0, "").Src, Flags: packet.FlagACK, Ack: 4}
+	for i := 0; i < 3; i++ {
+		p.Process(ctx, netem.BtoA, recvAck.Clone())
+	}
+	if p.Retransmitted != 1 {
+		t.Fatalf("expected one proxy retransmission, got %d", p.Retransmitted)
+	}
+}
+
+func TestPayloadRewriterAdjustsLaterSequences(t *testing.T) {
+	r := NewPayloadRewriter("cat", "tiger")
+	ctx := nopCtx{s: sim.New(1)}
+	first := dataSeg(0, "the cat sat")
+	out := r.Process(ctx, netem.AtoB, first)
+	if string(out[0].Payload) != "the tiger sat" {
+		t.Fatalf("payload not rewritten: %q", out[0].Payload)
+	}
+	// Later segments are shifted by the length difference (+2).
+	second := dataSeg(11, "again")
+	out = r.Process(ctx, netem.AtoB, second)
+	if out[0].Seq != 13 {
+		t.Fatalf("later segment seq = %d, want 13", out[0].Seq)
+	}
+}
+
+func TestPayloadCorrupterAndHoleBlocker(t *testing.T) {
+	ctx := nopCtx{s: sim.New(1)}
+	pc := NewPayloadCorrupter(1)
+	seg := dataSeg(0, "abcd")
+	pc.Process(ctx, netem.AtoB, seg)
+	if seg.Payload[0] == 'a' {
+		t.Fatal("corrupter did not modify the payload")
+	}
+
+	hb := NewHoleBlocker()
+	syn := &packet.Segment{Flags: packet.FlagSYN, Seq: 99, Src: seg.Src, Dst: seg.Dst}
+	hb.Process(ctx, netem.AtoB, syn)
+	inOrder := dataSeg(100, "abcd")
+	if out := hb.Process(ctx, netem.AtoB, inOrder); len(out) != 1 {
+		t.Fatal("in-order data must pass")
+	}
+	afterHole := dataSeg(200, "zzzz")
+	if out := hb.Process(ctx, netem.AtoB, afterHole); len(out) != 0 {
+		t.Fatal("data after a hole must be blocked")
+	}
+	if hb.Blocked != 1 {
+		t.Fatalf("blocked count = %d", hb.Blocked)
+	}
+}
+
+func TestTapAndDropper(t *testing.T) {
+	ctx := nopCtx{s: sim.New(1)}
+	tap := NewTap()
+	tap.Process(ctx, netem.AtoB, dataSeg(0, "x"))
+	tap.Process(ctx, netem.BtoA, dataSeg(1, "y"))
+	if tap.Count(netem.AtoB) != 1 || tap.Count(netem.BtoA) != 1 {
+		t.Fatal("tap miscounted")
+	}
+	d := NewDropper(1, func(dir netem.Direction, seg *packet.Segment) bool { return len(seg.Payload) > 0 })
+	if out := d.Process(ctx, netem.AtoB, dataSeg(0, "x")); len(out) != 0 {
+		t.Fatal("first matching segment should be dropped")
+	}
+	if out := d.Process(ctx, netem.AtoB, dataSeg(1, "y")); len(out) != 1 {
+		t.Fatal("drop budget exhausted; segment should pass")
+	}
+}

@@ -1,0 +1,118 @@
+package middlebox
+
+import (
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+)
+
+// SeqRewriter adds a fixed offset to the sequence numbers of client-to-server
+// traffic (and fixes up the acknowledgements flowing back), modelling the
+// firewalls the measurement study found on 10% of paths that "improve" TCP
+// initial sequence number randomization (§3.3). MPTCP's data sequence
+// mappings are expressed as offsets from the subflow ISN precisely so that
+// this rewriting is harmless.
+type SeqRewriter struct {
+	// Offset is added to AtoB sequence numbers; BtoA acknowledgements are
+	// shifted back by the same amount. A per-flow random offset is chosen
+	// when Offset is zero.
+	Offset uint32
+	// perFlow remembers the offset applied to each flow.
+	perFlow map[packet.FourTuple]uint32
+	seed    uint32
+}
+
+// NewSeqRewriter builds a sequence rewriter. A zero offset means "random per
+// flow".
+func NewSeqRewriter(offset uint32) *SeqRewriter {
+	return &SeqRewriter{Offset: offset, perFlow: make(map[packet.FourTuple]uint32), seed: 0x5eed1234}
+}
+
+// Name implements netem.Box.
+func (r *SeqRewriter) Name() string { return "seq-rewrite" }
+
+func (r *SeqRewriter) offsetFor(t packet.FourTuple) uint32 {
+	if off, ok := r.perFlow[t]; ok {
+		return off
+	}
+	off := r.Offset
+	if off == 0 {
+		r.seed = r.seed*1664525 + 1013904223
+		off = r.seed | 1
+	}
+	r.perFlow[t] = off
+	return off
+}
+
+// Process implements netem.Box.
+func (r *SeqRewriter) Process(_ netem.BoxContext, dir netem.Direction, seg *packet.Segment) []*packet.Segment {
+	if dir == netem.AtoB {
+		off := r.offsetFor(seg.Tuple())
+		seg.Seq = seg.Seq.Add(off)
+		return forward(seg)
+	}
+	// Reverse direction: the ACK field refers to the rewritten client
+	// sequence space; shift it back so the client sees consistent numbers.
+	off := r.offsetFor(seg.Tuple().Reverse())
+	if off != 0 && seg.Flags.Has(packet.FlagACK) {
+		seg.Ack = seg.Ack.Add(^off + 1) // subtract offset modulo 2^32
+	}
+	return forward(seg)
+}
+
+// OptionStripper removes TCP options, modelling the 6–14% of paths in the
+// measurement study that strip unknown options from SYNs (and the smaller set
+// that strip them from all segments).
+type OptionStripper struct {
+	// SYNOnly limits stripping to SYN segments (the common case observed in
+	// the study; data-segment stripping without SYN stripping was never
+	// observed).
+	SYNOnly bool
+	// Kinds restricts stripping to the listed option kinds; empty means all
+	// unknown/new options (MPTCP).
+	Kinds []packet.OptionKind
+	// Subtypes restricts stripping to specific MPTCP subtypes; empty means
+	// every MPTCP option.
+	Subtypes []packet.MPTCPSubtype
+	// Removed counts stripped options.
+	Removed int
+}
+
+// NewOptionStripper removes all MPTCP options, from SYNs only when synOnly is
+// true.
+func NewOptionStripper(synOnly bool) *OptionStripper {
+	return &OptionStripper{SYNOnly: synOnly, Kinds: []packet.OptionKind{packet.OptMPTCP}}
+}
+
+// Name implements netem.Box.
+func (o *OptionStripper) Name() string { return "option-strip" }
+
+func (o *OptionStripper) matches(opt packet.Option) bool {
+	kindMatch := len(o.Kinds) == 0
+	for _, k := range o.Kinds {
+		if opt.Kind() == k {
+			kindMatch = true
+			break
+		}
+	}
+	if !kindMatch {
+		return false
+	}
+	if len(o.Subtypes) == 0 {
+		return true
+	}
+	for _, s := range o.Subtypes {
+		if opt.Subtype() == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Process implements netem.Box.
+func (o *OptionStripper) Process(_ netem.BoxContext, _ netem.Direction, seg *packet.Segment) []*packet.Segment {
+	if o.SYNOnly && !seg.Flags.Has(packet.FlagSYN) {
+		return forward(seg)
+	}
+	o.Removed += seg.RemoveOptions(o.matches)
+	return forward(seg)
+}

@@ -1,0 +1,179 @@
+// Package netem emulates the network underneath the TCP/MPTCP endpoints:
+// point-to-point links with configurable rate, propagation delay, queue size
+// and loss, hosts with multiple interfaces, bidirectional paths that may have
+// middlebox chains attached, and topology builders for the scenarios
+// evaluated in the paper (WiFi+3G phone, asymmetric and symmetric gigabit
+// hosts, 10G LAN).
+package netem
+
+import (
+	"time"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// WireOverheadBytes approximates the per-packet IP + Ethernet framing
+// overhead added on the wire in addition to the TCP header and options.
+const WireOverheadBytes = 38
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// RateBps is the link rate in bits per second; zero means infinitely
+	// fast (no serialization delay).
+	RateBps int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes is the buffer in front of the link; zero means unlimited.
+	// This is where the 3G "2 second buffer" bufferbloat of the paper's
+	// experiments lives.
+	QueueBytes int
+	// LossRate is the probability that a packet is dropped by the link
+	// (independent random losses).
+	LossRate float64
+}
+
+// LinkStats counts what the link did.
+type LinkStats struct {
+	SentPackets    uint64
+	SentBytes      uint64
+	DroppedQueue   uint64
+	DroppedRandom  uint64
+	DeliveredBytes uint64
+	MaxQueueBytes  int
+}
+
+// Receiver consumes segments at the far end of a link.
+type Receiver interface {
+	Receive(seg *packet.Segment)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(seg *packet.Segment)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(seg *packet.Segment) { f(seg) }
+
+// Link is a unidirectional FIFO link with a finite drop-tail queue, a
+// serialization rate and a propagation delay.
+type Link struct {
+	sim  *sim.Simulator
+	cfg  LinkConfig
+	dst  Receiver
+	name string
+
+	busyUntil   time.Duration
+	queuedBytes int
+	ordinal     uint64
+
+	stats LinkStats
+
+	// OnTransmit, if set, is invoked for every segment the link accepts
+	// (after queue admission, before delivery). Traces use it.
+	OnTransmit func(seg *packet.Segment)
+	// OnDrop, if set, is invoked for every dropped segment with a reason.
+	OnDrop func(seg *packet.Segment, reason string)
+}
+
+// NewLink creates a link delivering to dst.
+func NewLink(s *sim.Simulator, name string, cfg LinkConfig, dst Receiver) *Link {
+	return &Link{sim: s, cfg: cfg, dst: dst, name: name}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetConfig replaces the link configuration (used to model path changes such
+// as a WiFi link degrading mid-connection).
+func (l *Link) SetConfig(cfg LinkConfig) { l.cfg = cfg }
+
+// SetReceiver points the link at a new far end.
+func (l *Link) SetReceiver(dst Receiver) { l.dst = dst }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns the current queue occupancy.
+func (l *Link) QueueBytes() int { return l.queuedBytes }
+
+// wireSize returns the number of bytes the segment occupies on the wire.
+func wireSize(seg *packet.Segment) int {
+	return len(seg.Payload) + 20 + packet.OptionsWireLen(seg.Options) + WireOverheadBytes
+}
+
+// Send enqueues a segment for transmission. The segment is owned by the link
+// afterwards; callers must Clone if they keep a reference.
+func (l *Link) Send(seg *packet.Segment) {
+	if l.dst == nil {
+		return
+	}
+	size := wireSize(seg)
+
+	if l.cfg.LossRate > 0 && l.sim.RNG().Float64() < l.cfg.LossRate {
+		l.stats.DroppedRandom++
+		if l.OnDrop != nil {
+			l.OnDrop(seg, "loss")
+		}
+		return
+	}
+	if l.cfg.QueueBytes > 0 && l.queuedBytes+size > l.cfg.QueueBytes {
+		l.stats.DroppedQueue++
+		if l.OnDrop != nil {
+			l.OnDrop(seg, "queue-overflow")
+		}
+		return
+	}
+
+	l.queuedBytes += size
+	if l.queuedBytes > l.stats.MaxQueueBytes {
+		l.stats.MaxQueueBytes = l.queuedBytes
+	}
+	l.ordinal++
+	seg.Ordinal = l.ordinal
+	l.stats.SentPackets++
+	l.stats.SentBytes += uint64(size)
+	if l.OnTransmit != nil {
+		l.OnTransmit(seg)
+	}
+
+	now := l.sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txTime := time.Duration(0)
+	if l.cfg.RateBps > 0 {
+		txTime = time.Duration(float64(size*8) / float64(l.cfg.RateBps) * float64(time.Second))
+	}
+	done := start + txTime
+	l.busyUntil = done
+
+	l.sim.ScheduleAt(done, func() {
+		l.queuedBytes -= size
+	})
+	l.sim.ScheduleAt(done+l.cfg.Delay, func() {
+		l.stats.DeliveredBytes += uint64(size)
+		l.dst.Receive(seg)
+	})
+}
+
+// BandwidthDelayProduct returns the link's BDP in bytes, a convenience for
+// buffer sizing in experiments.
+func (c LinkConfig) BandwidthDelayProduct() int {
+	if c.RateBps == 0 {
+		return 0
+	}
+	return int(float64(c.RateBps) / 8 * c.Delay.Seconds())
+}
+
+// Mbps converts a megabit-per-second figure to bits per second.
+func Mbps(m float64) int64 { return int64(m * 1e6) }
+
+// Kbps converts a kilobit-per-second figure to bits per second.
+func Kbps(k float64) int64 { return int64(k * 1e3) }
+
+// Gbps converts a gigabit-per-second figure to bits per second.
+func Gbps(g float64) int64 { return int64(g * 1e9) }

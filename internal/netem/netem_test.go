@@ -1,0 +1,143 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+func testSegment(n int) *packet.Segment {
+	return &packet.Segment{
+		Src:     packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 1), Port: 1},
+		Dst:     packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 2), Port: 2},
+		Flags:   packet.FlagACK,
+		Payload: make([]byte, n),
+	}
+}
+
+func TestLinkDelayAndSerialization(t *testing.T) {
+	s := sim.New(1)
+	var arrival time.Duration
+	link := NewLink(s, "l", LinkConfig{RateBps: Mbps(8), Delay: 10 * time.Millisecond}, ReceiverFunc(func(seg *packet.Segment) {
+		arrival = s.Now()
+	}))
+	seg := testSegment(1000)
+	size := wireSize(seg)
+	link.Send(seg)
+	_ = s.Run()
+	expected := time.Duration(float64(size*8)/8e6*float64(time.Second)) + 10*time.Millisecond
+	diff := arrival - expected
+	if diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("arrival %v, expected about %v", arrival, expected)
+	}
+}
+
+func TestLinkQueueOverflowDrops(t *testing.T) {
+	s := sim.New(1)
+	delivered := 0
+	link := NewLink(s, "l", LinkConfig{RateBps: Kbps(100), Delay: time.Millisecond, QueueBytes: 3000}, ReceiverFunc(func(seg *packet.Segment) {
+		delivered++
+	}))
+	for i := 0; i < 10; i++ {
+		link.Send(testSegment(1000))
+	}
+	_ = s.Run()
+	st := link.Stats()
+	if st.DroppedQueue == 0 {
+		t.Fatal("expected tail drops on a 3000-byte queue")
+	}
+	if delivered+int(st.DroppedQueue) != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10", delivered, st.DroppedQueue)
+	}
+}
+
+func TestLinkRandomLoss(t *testing.T) {
+	s := sim.New(7)
+	delivered := 0
+	link := NewLink(s, "l", LinkConfig{LossRate: 0.5}, ReceiverFunc(func(seg *packet.Segment) { delivered++ }))
+	for i := 0; i < 1000; i++ {
+		link.Send(testSegment(100))
+	}
+	_ = s.Run()
+	if delivered < 350 || delivered > 650 {
+		t.Fatalf("with 50%% loss, delivered %d of 1000", delivered)
+	}
+}
+
+func TestHostDemuxAndRST(t *testing.T) {
+	s := sim.New(1)
+	n := Build(s, Symmetric("p", Mbps(10), time.Millisecond, 0, 0))
+	// A segment to a port nobody listens on must trigger a RST back.
+	var gotRST bool
+	n.Client.OnUnmatched = func(_ *Interface, seg *packet.Segment) {
+		if seg.Flags.Has(packet.FlagRST) {
+			gotRST = true
+		}
+	}
+	seg := &packet.Segment{
+		Src:   packet.Endpoint{Addr: n.ClientAddr(0), Port: 5555},
+		Dst:   packet.Endpoint{Addr: n.ServerAddr(0), Port: 4444},
+		Flags: packet.FlagSYN,
+	}
+	n.Client.Interfaces()[0].Send(seg)
+	_ = s.Run()
+	if !gotRST {
+		t.Fatal("expected a RST for a SYN to a closed port")
+	}
+	if n.Server.Stats().NoMatchRST == 0 {
+		t.Fatal("server should have counted the unmatched segment")
+	}
+}
+
+func TestPathDownDropsTraffic(t *testing.T) {
+	s := sim.New(1)
+	n := Build(s, Symmetric("p", Mbps(10), time.Millisecond, 0, 0))
+	n.Path(0).SetDown(true)
+	received := false
+	n.Server.OnUnmatched = func(_ *Interface, _ *packet.Segment) { received = true }
+	n.Client.Interfaces()[0].Send(testSegment(10))
+	_ = s.Run()
+	if received {
+		t.Fatal("segments must be dropped on a failed path")
+	}
+}
+
+func TestCPUModelSerializesProcessing(t *testing.T) {
+	s := sim.New(1)
+	n := Build(s, Symmetric("p", Gbps(1), 0, 0, 0))
+	n.Server.CPU = CPUModel{PerPacket: time.Millisecond}
+	var lastDelivery time.Duration
+	n.Server.OnUnmatched = func(_ *Interface, _ *packet.Segment) { lastDelivery = s.Now() }
+	for i := 0; i < 5; i++ {
+		n.Client.Interfaces()[0].Send(testSegment(100))
+	}
+	_ = s.Run()
+	if lastDelivery < 5*time.Millisecond {
+		t.Fatalf("five packets at 1ms CPU each should take at least 5ms, took %v", lastDelivery)
+	}
+}
+
+func TestTopologyBuilders(t *testing.T) {
+	s := sim.New(1)
+	for _, specs := range [][]PathSpec{WiFi3GSpec(), LossyWiFi3GSpec(), AsymGigabitSpec(), TripleGigabitSpec(), DualGigabitSpec(), TenGigSpec(), Capped3GWiFiSpec()} {
+		n := Build(sim.New(1), specs...)
+		if len(n.Paths) != len(specs) {
+			t.Fatalf("expected %d paths, got %d", len(specs), len(n.Paths))
+		}
+		for i := range specs {
+			if n.ClientAddr(i) == n.ServerAddr(i) {
+				t.Fatal("client and server addresses must differ")
+			}
+		}
+	}
+	_ = s
+}
+
+func TestBandwidthDelayProduct(t *testing.T) {
+	cfg := LinkConfig{RateBps: Mbps(8), Delay: 100 * time.Millisecond}
+	if got := cfg.BandwidthDelayProduct(); got != 100000 {
+		t.Fatalf("BDP = %d, want 100000", got)
+	}
+}

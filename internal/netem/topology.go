@@ -1,0 +1,162 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// Network bundles a simulator, hosts and paths into one experiment topology.
+type Network struct {
+	Sim    *sim.Simulator
+	Client *Host
+	Server *Host
+	Paths  []*Path
+}
+
+// PathSpec describes one bidirectional path between the client and the
+// server in a topology built with Build.
+type PathSpec struct {
+	Name string
+	// Config describes the two directions; if BA is the zero value, the AB
+	// configuration is mirrored.
+	Config PathConfig
+}
+
+// Symmetric creates a PathSpec with identical directions.
+func Symmetric(name string, rateBps int64, delay time.Duration, queueBytes int, loss float64) PathSpec {
+	return PathSpec{Name: name, Config: SymmetricPath(rateBps, delay, queueBytes, loss)}
+}
+
+// Build constructs a client and a server connected by one path per spec. The
+// client's i-th interface gets address 10.0.i.1, the server's 10.0.i.2.
+func Build(s *sim.Simulator, specs ...PathSpec) *Network {
+	n := &Network{Sim: s}
+	n.Client = NewHost(s, "client")
+	n.Server = NewHost(s, "server")
+	for i, spec := range specs {
+		cfg := spec.Config
+		if cfg.BA == (LinkConfig{}) {
+			cfg.BA = cfg.AB
+		}
+		ca := n.Client.AddInterface(packet.MakeAddr(10, 0, byte(i), 1))
+		sa := n.Server.AddInterface(packet.MakeAddr(10, 0, byte(i), 2))
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("path%d", i)
+		}
+		n.Paths = append(n.Paths, NewPath(s, name, ca, sa, cfg))
+	}
+	return n
+}
+
+// Path returns the i-th path.
+func (n *Network) Path(i int) *Path { return n.Paths[i] }
+
+// ClientAddr returns the client's address on path i.
+func (n *Network) ClientAddr(i int) packet.Addr { return n.Paths[i].A().Addr() }
+
+// ServerAddr returns the server's address on path i.
+func (n *Network) ServerAddr(i int) packet.Addr { return n.Paths[i].B().Addr() }
+
+// ---------------------------------------------------------------------------
+// Canonical topologies used by the paper's evaluation
+// ---------------------------------------------------------------------------
+
+// WiFi3GSpec reproduces the emulated phone scenario of §4.2: an 8 Mbps WiFi
+// path with 20 ms base RTT and 80 ms of buffering, and a 2 Mbps 3G path with
+// 150 ms base RTT and 2 s of buffering.
+func WiFi3GSpec() []PathSpec {
+	wifi := LinkConfig{
+		RateBps:    Mbps(8),
+		Delay:      10 * time.Millisecond, // 20 ms RTT
+		QueueBytes: int(float64(Mbps(8)) / 8 * 0.080),
+	}
+	threeG := LinkConfig{
+		RateBps:    Mbps(2),
+		Delay:      75 * time.Millisecond, // 150 ms RTT
+		QueueBytes: int(float64(Mbps(2)) / 8 * 2.0),
+	}
+	return []PathSpec{
+		{Name: "wifi", Config: PathConfig{AB: wifi, BA: wifi}},
+		{Name: "3g", Config: PathConfig{AB: threeG, BA: threeG}},
+	}
+}
+
+// LossyWiFi3GSpec reproduces Figure 6(a): the same WiFi path plus an
+// extremely slow (50 kbps) 3G path whose deep buffer makes retransmissions
+// take seconds.
+func LossyWiFi3GSpec() []PathSpec {
+	wifi := LinkConfig{
+		RateBps:    Mbps(8),
+		Delay:      10 * time.Millisecond,
+		QueueBytes: int(float64(Mbps(8)) / 8 * 0.080),
+	}
+	slow3G := LinkConfig{
+		RateBps:    Kbps(50),
+		Delay:      75 * time.Millisecond,
+		QueueBytes: int(float64(Kbps(50)) / 8 * 2.0),
+		LossRate:   0.02,
+	}
+	return []PathSpec{
+		{Name: "wifi", Config: PathConfig{AB: wifi, BA: wifi}},
+		{Name: "slow3g", Config: PathConfig{AB: slow3G, BA: slow3G}},
+	}
+}
+
+// AsymGigabitSpec reproduces Figure 6(b): one gigabit and one 100 Mbps link
+// between two hosts (inter-datacenter transfer with asymmetric links).
+func AsymGigabitSpec() []PathSpec {
+	return []PathSpec{
+		Symmetric("1g", Gbps(1), 250*time.Microsecond, 256<<10, 0),
+		Symmetric("100m", Mbps(100), 250*time.Microsecond, 128<<10, 0),
+	}
+}
+
+// TripleGigabitSpec reproduces Figure 6(c): three symmetric gigabit links.
+func TripleGigabitSpec() []PathSpec {
+	return []PathSpec{
+		Symmetric("1g-a", Gbps(1), 250*time.Microsecond, 256<<10, 0),
+		Symmetric("1g-b", Gbps(1), 250*time.Microsecond, 256<<10, 0),
+		Symmetric("1g-c", Gbps(1), 250*time.Microsecond, 256<<10, 0),
+	}
+}
+
+// DualGigabitSpec is the directly connected client/server pair with two
+// gigabit links used for the receive-algorithm (Fig. 8) and HTTP (Fig. 11)
+// experiments.
+func DualGigabitSpec() []PathSpec {
+	return []PathSpec{
+		Symmetric("1g-a", Gbps(1), 100*time.Microsecond, 512<<10, 0),
+		Symmetric("1g-b", Gbps(1), 100*time.Microsecond, 512<<10, 0),
+	}
+}
+
+// TenGigSpec is the 10 Gbps LAN used by the Figure 3 checksum experiment.
+func TenGigSpec() []PathSpec {
+	return []PathSpec{
+		Symmetric("10g-a", Gbps(10), 50*time.Microsecond, 2<<20, 0),
+		Symmetric("10g-b", Gbps(10), 50*time.Microsecond, 2<<20, 0),
+	}
+}
+
+// Capped3GWiFiSpec reproduces Figure 9: a commercial 3G network with ~2 Mbps
+// achievable throughput and a WiFi access point capped at 2 Mbps.
+func Capped3GWiFiSpec() []PathSpec {
+	wifi := LinkConfig{
+		RateBps:    Mbps(2),
+		Delay:      10 * time.Millisecond,
+		QueueBytes: int(float64(Mbps(2)) / 8 * 0.100),
+	}
+	threeG := LinkConfig{
+		RateBps:    Mbps(2),
+		Delay:      75 * time.Millisecond,
+		QueueBytes: int(float64(Mbps(2)) / 8 * 2.0),
+	}
+	return []PathSpec{
+		{Name: "wifi", Config: PathConfig{AB: wifi, BA: wifi}},
+		{Name: "3g", Config: PathConfig{AB: threeG, BA: threeG}},
+	}
+}

@@ -1,0 +1,438 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire-format errors.
+var (
+	ErrOptionSpace   = errors.New("packet: options exceed 40-byte TCP option space")
+	ErrShortSegment  = errors.New("packet: truncated segment")
+	ErrBadDataOffset = errors.New("packet: bad data offset")
+	ErrBadOption     = errors.New("packet: malformed option")
+)
+
+const headerLen = 20
+
+// Encode serializes the segment into the RFC 793 wire format (TCP header,
+// options padded to a 4-byte boundary, payload) and fills in the TCP
+// checksum. Addresses are included via the pseudo-header, matching how the
+// checksum is computed on a real stack.
+func Encode(s *Segment) ([]byte, error) {
+	optLen := OptionsWireLen(s.Options)
+	if optLen > MaxOptionSpace {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOptionSpace, optLen)
+	}
+	hdrLen := headerLen + optLen
+	buf := make([]byte, hdrLen+len(s.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], s.Src.Port)
+	binary.BigEndian.PutUint16(buf[2:4], s.Dst.Port)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(s.Seq))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(s.Ack))
+	buf[12] = byte(hdrLen/4) << 4
+	buf[13] = byte(s.Flags)
+	binary.BigEndian.PutUint16(buf[14:16], s.Window)
+	// Checksum (buf[16:18]) is filled below; urgent pointer stays zero.
+
+	off := headerLen
+	for _, o := range s.Options {
+		n, err := encodeOption(buf[off:hdrLen], o)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+	}
+	// Pad remaining option space with NOPs, then terminate with EOL when the
+	// padding is more than a byte (keeps decoders honest).
+	for off < hdrLen {
+		buf[off] = byte(OptNOP)
+		off++
+	}
+	copy(buf[hdrLen:], s.Payload)
+
+	csum := TCPChecksum(s.Src, s.Dst, buf[:hdrLen], s.Payload)
+	binary.BigEndian.PutUint16(buf[16:18], csum)
+	return buf, nil
+}
+
+// VerifyTCPChecksum reports whether an encoded segment's checksum is valid
+// for the given endpoints.
+func VerifyTCPChecksum(src, dst Endpoint, wire []byte) bool {
+	if len(wire) < headerLen {
+		return false
+	}
+	hdrLen := int(wire[12]>>4) * 4
+	if hdrLen < headerLen || hdrLen > len(wire) {
+		return false
+	}
+	cp := append([]byte(nil), wire...)
+	binary.BigEndian.PutUint16(cp[16:18], 0)
+	want := binary.BigEndian.Uint16(wire[16:18])
+	return TCPChecksum(src, dst, cp[:hdrLen], cp[hdrLen:]) == want
+}
+
+func encodeOption(dst []byte, o Option) (int, error) {
+	n := o.WireLen()
+	if len(dst) < n {
+		return 0, ErrOptionSpace
+	}
+	b := dst[:n]
+	switch opt := o.(type) {
+	case *MSSOption:
+		b[0], b[1] = byte(OptMSS), 4
+		binary.BigEndian.PutUint16(b[2:4], opt.MSS)
+	case *WindowScaleOption:
+		b[0], b[1], b[2] = byte(OptWindowScale), 3, opt.Shift
+	case *TimestampsOption:
+		b[0], b[1] = byte(OptTimestamps), 10
+		binary.BigEndian.PutUint32(b[2:6], opt.Val)
+		binary.BigEndian.PutUint32(b[6:10], opt.Echo)
+	case *SACKPermittedOption:
+		b[0], b[1] = byte(OptSACKPermitted), 2
+	case *SACKOption:
+		b[0], b[1] = byte(OptSACK), byte(2+8*len(opt.Blocks))
+		for i, blk := range opt.Blocks {
+			binary.BigEndian.PutUint32(b[2+8*i:], uint32(blk.Left))
+			binary.BigEndian.PutUint32(b[6+8*i:], uint32(blk.Right))
+		}
+	case *MPCapableOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubMPCapable)<<4 | (opt.Version & 0x0f)
+		var flags byte = 0x01 // H: HMAC-SHA1
+		if opt.ChecksumRequired {
+			flags |= 0x80
+		}
+		b[3] = flags
+		binary.BigEndian.PutUint64(b[4:12], opt.SenderKey)
+		if opt.HasReceiverKey {
+			binary.BigEndian.PutUint64(b[12:20], opt.ReceiverKey)
+		}
+	case *MPJoinOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		var backup byte
+		if opt.Backup {
+			backup = 0x01
+		}
+		switch opt.Phase {
+		case JoinSYN:
+			b[2] = byte(SubMPJoin)<<4 | backup
+			b[3] = opt.AddrID
+			binary.BigEndian.PutUint32(b[4:8], opt.ReceiverToken)
+			binary.BigEndian.PutUint32(b[8:12], opt.SenderNonce)
+		case JoinSYNACK:
+			b[2] = byte(SubMPJoin)<<4 | backup
+			b[3] = opt.AddrID
+			copy(b[4:12], padHMAC(opt.SenderHMAC, 8))
+			binary.BigEndian.PutUint32(b[12:16], opt.SenderNonce)
+		default: // JoinACK
+			b[2] = byte(SubMPJoin) << 4
+			b[3] = 0
+			copy(b[4:24], padHMAC(opt.SenderHMAC, 20))
+		}
+	case *DSSOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubDSS) << 4
+		var flags byte
+		if opt.DataFIN {
+			flags |= 0x10
+		}
+		off := 4
+		if opt.HasDataACK {
+			flags |= 0x01 | 0x02 // data ACK present, 8 octets
+			binary.BigEndian.PutUint64(b[off:], uint64(opt.DataACK))
+			off += 8
+		}
+		if opt.HasMapping {
+			flags |= 0x04 | 0x08 // DSN present, 8 octets
+			binary.BigEndian.PutUint64(b[off:], uint64(opt.DataSeq))
+			off += 8
+			binary.BigEndian.PutUint32(b[off:], opt.SubflowOffset)
+			off += 4
+			binary.BigEndian.PutUint16(b[off:], opt.Length)
+			off += 2
+			if opt.HasChecksum {
+				binary.BigEndian.PutUint16(b[off:], opt.Checksum)
+				off += 2
+			}
+		}
+		b[3] = flags
+	case *AddAddrOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubAddAddr)<<4 | 4 // IPVer = 4
+		b[3] = opt.AddrID
+		binary.BigEndian.PutUint32(b[4:8], uint32(opt.Addr))
+		if opt.Port != 0 {
+			binary.BigEndian.PutUint16(b[8:10], opt.Port)
+		}
+	case *RemoveAddrOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubRemoveAddr) << 4
+		copy(b[3:], opt.AddrIDs)
+	case *MPPrioOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		var backup byte
+		if opt.Backup {
+			backup = 0x01
+		}
+		b[2] = byte(SubMPPrio)<<4 | backup
+		b[3] = opt.AddrID
+	case *MPFailOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubMPFail) << 4
+		b[3] = 0
+		binary.BigEndian.PutUint64(b[4:12], uint64(opt.DataSeq))
+	case *FastcloseOption:
+		b[0], b[1] = byte(OptMPTCP), byte(n)
+		b[2] = byte(SubFastclose) << 4
+		b[3] = 0
+		binary.BigEndian.PutUint64(b[4:12], opt.ReceiverKey)
+	default:
+		return 0, fmt.Errorf("%w: unknown option type %T", ErrBadOption, o)
+	}
+	return n, nil
+}
+
+func padHMAC(h []byte, n int) []byte {
+	out := make([]byte, n)
+	copy(out, h)
+	return out
+}
+
+// Decode parses a wire-format segment. The src/dst endpoints carry the
+// addresses (which live in the IP header on a real network); ports are taken
+// from the TCP header itself.
+func Decode(src, dst Addr, wire []byte) (*Segment, error) {
+	if len(wire) < headerLen {
+		return nil, ErrShortSegment
+	}
+	hdrLen := int(wire[12]>>4) * 4
+	if hdrLen < headerLen || hdrLen > len(wire) {
+		return nil, ErrBadDataOffset
+	}
+	s := &Segment{
+		Src:    Endpoint{Addr: src, Port: binary.BigEndian.Uint16(wire[0:2])},
+		Dst:    Endpoint{Addr: dst, Port: binary.BigEndian.Uint16(wire[2:4])},
+		Seq:    SeqNum(binary.BigEndian.Uint32(wire[4:8])),
+		Ack:    SeqNum(binary.BigEndian.Uint32(wire[8:12])),
+		Flags:  Flags(wire[13]),
+		Window: binary.BigEndian.Uint16(wire[14:16]),
+	}
+	opts, err := decodeOptions(wire[headerLen:hdrLen])
+	if err != nil {
+		return nil, err
+	}
+	s.Options = opts
+	if len(wire) > hdrLen {
+		s.Payload = append([]byte(nil), wire[hdrLen:]...)
+	}
+	return s, nil
+}
+
+func decodeOptions(b []byte) ([]Option, error) {
+	var opts []Option
+	for len(b) > 0 {
+		kind := OptionKind(b[0])
+		if kind == OptEOL {
+			break
+		}
+		if kind == OptNOP {
+			b = b[1:]
+			continue
+		}
+		if len(b) < 2 {
+			return nil, ErrBadOption
+		}
+		olen := int(b[1])
+		if olen < 2 || olen > len(b) {
+			return nil, ErrBadOption
+		}
+		body := b[:olen]
+		opt, err := decodeOption(kind, body)
+		if err != nil {
+			return nil, err
+		}
+		if opt != nil {
+			opts = append(opts, opt)
+		}
+		b = b[olen:]
+	}
+	return opts, nil
+}
+
+func decodeOption(kind OptionKind, b []byte) (Option, error) {
+	switch kind {
+	case OptMSS:
+		if len(b) != 4 {
+			return nil, ErrBadOption
+		}
+		return &MSSOption{MSS: binary.BigEndian.Uint16(b[2:4])}, nil
+	case OptWindowScale:
+		if len(b) != 3 {
+			return nil, ErrBadOption
+		}
+		return &WindowScaleOption{Shift: b[2]}, nil
+	case OptTimestamps:
+		if len(b) != 10 {
+			return nil, ErrBadOption
+		}
+		return &TimestampsOption{
+			Val:  binary.BigEndian.Uint32(b[2:6]),
+			Echo: binary.BigEndian.Uint32(b[6:10]),
+		}, nil
+	case OptSACKPermitted:
+		if len(b) != 2 {
+			return nil, ErrBadOption
+		}
+		return &SACKPermittedOption{}, nil
+	case OptSACK:
+		if (len(b)-2)%8 != 0 {
+			return nil, ErrBadOption
+		}
+		o := &SACKOption{}
+		for i := 2; i < len(b); i += 8 {
+			o.Blocks = append(o.Blocks, SACKBlock{
+				Left:  SeqNum(binary.BigEndian.Uint32(b[i:])),
+				Right: SeqNum(binary.BigEndian.Uint32(b[i+4:])),
+			})
+		}
+		return o, nil
+	case OptMPTCP:
+		return decodeMPTCP(b)
+	default:
+		// Unknown options are preserved so that "pass options you don't
+		// understand" middlebox behaviour can be modeled; for simplicity we
+		// drop them here since our endpoints never emit unknown kinds.
+		return nil, nil
+	}
+}
+
+func decodeMPTCP(b []byte) (Option, error) {
+	if len(b) < 3 {
+		return nil, ErrBadOption
+	}
+	sub := MPTCPSubtype(b[2] >> 4)
+	switch sub {
+	case SubMPCapable:
+		if len(b) != 12 && len(b) != 20 {
+			return nil, ErrBadOption
+		}
+		o := &MPCapableOption{
+			Version:          b[2] & 0x0f,
+			ChecksumRequired: b[3]&0x80 != 0,
+			SenderKey:        binary.BigEndian.Uint64(b[4:12]),
+		}
+		if len(b) == 20 {
+			o.HasReceiverKey = true
+			o.ReceiverKey = binary.BigEndian.Uint64(b[12:20])
+		}
+		return o, nil
+	case SubMPJoin:
+		switch len(b) {
+		case 12:
+			return &MPJoinOption{
+				Phase:         JoinSYN,
+				Backup:        b[2]&0x01 != 0,
+				AddrID:        b[3],
+				ReceiverToken: binary.BigEndian.Uint32(b[4:8]),
+				SenderNonce:   binary.BigEndian.Uint32(b[8:12]),
+			}, nil
+		case 16:
+			return &MPJoinOption{
+				Phase:       JoinSYNACK,
+				Backup:      b[2]&0x01 != 0,
+				AddrID:      b[3],
+				SenderHMAC:  append([]byte(nil), b[4:12]...),
+				SenderNonce: binary.BigEndian.Uint32(b[12:16]),
+			}, nil
+		case 24:
+			return &MPJoinOption{
+				Phase:      JoinACK,
+				SenderHMAC: append([]byte(nil), b[4:24]...),
+			}, nil
+		default:
+			return nil, ErrBadOption
+		}
+	case SubDSS:
+		flags := b[3]
+		o := &DSSOption{DataFIN: flags&0x10 != 0}
+		off := 4
+		if flags&0x01 != 0 {
+			ackLen := 4
+			if flags&0x02 != 0 {
+				ackLen = 8
+			}
+			if len(b) < off+ackLen {
+				return nil, ErrBadOption
+			}
+			o.HasDataACK = true
+			if ackLen == 8 {
+				o.DataACK = DataSeq(binary.BigEndian.Uint64(b[off:]))
+			} else {
+				o.DataACK = DataSeq(binary.BigEndian.Uint32(b[off:]))
+			}
+			off += ackLen
+		}
+		if flags&0x04 != 0 {
+			dsnLen := 4
+			if flags&0x08 != 0 {
+				dsnLen = 8
+			}
+			if len(b) < off+dsnLen+6 {
+				return nil, ErrBadOption
+			}
+			o.HasMapping = true
+			if dsnLen == 8 {
+				o.DataSeq = DataSeq(binary.BigEndian.Uint64(b[off:]))
+			} else {
+				o.DataSeq = DataSeq(binary.BigEndian.Uint32(b[off:]))
+			}
+			off += dsnLen
+			o.SubflowOffset = binary.BigEndian.Uint32(b[off:])
+			off += 4
+			o.Length = binary.BigEndian.Uint16(b[off:])
+			off += 2
+			if len(b) >= off+2 {
+				o.HasChecksum = true
+				o.Checksum = binary.BigEndian.Uint16(b[off:])
+			}
+		}
+		return o, nil
+	case SubAddAddr:
+		if len(b) != 8 && len(b) != 10 {
+			return nil, ErrBadOption
+		}
+		o := &AddAddrOption{
+			AddrID: b[3],
+			Addr:   Addr(binary.BigEndian.Uint32(b[4:8])),
+		}
+		if len(b) == 10 {
+			o.Port = binary.BigEndian.Uint16(b[8:10])
+		}
+		return o, nil
+	case SubRemoveAddr:
+		if len(b) < 4 {
+			return nil, ErrBadOption
+		}
+		return &RemoveAddrOption{AddrIDs: append([]uint8(nil), b[3:]...)}, nil
+	case SubMPPrio:
+		o := &MPPrioOption{Backup: b[2]&0x01 != 0}
+		if len(b) >= 4 {
+			o.AddrID = b[3]
+		}
+		return o, nil
+	case SubMPFail:
+		if len(b) != 12 {
+			return nil, ErrBadOption
+		}
+		return &MPFailOption{DataSeq: DataSeq(binary.BigEndian.Uint64(b[4:12]))}, nil
+	case SubFastclose:
+		if len(b) != 12 {
+			return nil, ErrBadOption
+		}
+		return &FastcloseOption{ReceiverKey: binary.BigEndian.Uint64(b[4:12])}, nil
+	default:
+		return nil, fmt.Errorf("%w: MPTCP subtype %d", ErrBadOption, sub)
+	}
+}

@@ -1,0 +1,122 @@
+// Package sched provides the packet schedulers that decide which subflow the
+// next chunk of connection-level data is sent on. The default policy is the
+// one the paper's implementation uses: "MPTCP will send a new packet on the
+// lowest delay link that has space in its congestion window" (§4.2).
+package sched
+
+import "time"
+
+// Candidate is one subflow from the scheduler's point of view.
+type Candidate interface {
+	// SRTT returns the subflow's smoothed round-trip time estimate.
+	SRTT() time.Duration
+	// SendSpace returns how many bytes the subflow could transmit right now
+	// (congestion-window allowance minus in-flight data).
+	SendSpace() int
+	// Usable reports whether the subflow is established and not failed.
+	Usable() bool
+	// Backup reports whether the subflow was negotiated as a backup path
+	// (MP_JOIN B-flag); backup subflows are only used when no regular
+	// subflow is usable.
+	Backup() bool
+}
+
+// Scheduler selects the subflow for the next transmission.
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Pick returns the index into candidates of the subflow to use for a
+	// chunk of the given size, or -1 if no subflow can send now.
+	Pick(candidates []Candidate, size int) int
+}
+
+// usable filters candidates by usability and minimum space, preferring
+// non-backup subflows.
+func usable(candidates []Candidate, size int) []int {
+	var regular, backup []int
+	for i, c := range candidates {
+		if !c.Usable() || c.SendSpace() < size {
+			continue
+		}
+		if c.Backup() {
+			backup = append(backup, i)
+		} else {
+			regular = append(regular, i)
+		}
+	}
+	if len(regular) > 0 {
+		return regular
+	}
+	return backup
+}
+
+// LowestRTT is the default scheduler: among subflows with congestion-window
+// space, pick the one with the smallest smoothed RTT.
+type LowestRTT struct{}
+
+// Name implements Scheduler.
+func (LowestRTT) Name() string { return "lowest-rtt" }
+
+// Pick implements Scheduler.
+func (LowestRTT) Pick(candidates []Candidate, size int) int {
+	best := -1
+	var bestRTT time.Duration
+	for _, i := range usable(candidates, size) {
+		rtt := candidates[i].SRTT()
+		if best == -1 || rtt < bestRTT {
+			best, bestRTT = i, rtt
+		}
+	}
+	return best
+}
+
+// RoundRobin rotates through usable subflows regardless of RTT; it is the
+// ablation baseline resembling per-packet link bonding.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(candidates []Candidate, size int) int {
+	ok := usable(candidates, size)
+	if len(ok) == 0 {
+		return -1
+	}
+	idx := ok[r.next%len(ok)]
+	r.next++
+	return idx
+}
+
+// HighestSpace picks the subflow with the most congestion-window headroom;
+// useful as an ablation that ignores latency entirely.
+type HighestSpace struct{}
+
+// Name implements Scheduler.
+func (HighestSpace) Name() string { return "highest-space" }
+
+// Pick implements Scheduler.
+func (HighestSpace) Pick(candidates []Candidate, size int) int {
+	best, bestSpace := -1, -1
+	for _, i := range usable(candidates, size) {
+		if sp := candidates[i].SendSpace(); sp > bestSpace {
+			best, bestSpace = i, sp
+		}
+	}
+	return best
+}
+
+// New constructs a scheduler by name ("lowest-rtt", "round-robin",
+// "highest-space"); unknown names return the default LowestRTT.
+func New(name string) Scheduler {
+	switch name {
+	case "round-robin":
+		return &RoundRobin{}
+	case "highest-space":
+		return HighestSpace{}
+	default:
+		return LowestRTT{}
+	}
+}

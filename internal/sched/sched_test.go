@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+type fakeCandidate struct {
+	srtt   time.Duration
+	space  int
+	usable bool
+	backup bool
+}
+
+func (f fakeCandidate) SRTT() time.Duration { return f.srtt }
+func (f fakeCandidate) SendSpace() int      { return f.space }
+func (f fakeCandidate) Usable() bool        { return f.usable }
+func (f fakeCandidate) Backup() bool        { return f.backup }
+
+func TestLowestRTTPicksFastestWithSpace(t *testing.T) {
+	s := LowestRTT{}
+	cands := []Candidate{
+		fakeCandidate{srtt: 10 * time.Millisecond, space: 0, usable: true},    // fast but full
+		fakeCandidate{srtt: 200 * time.Millisecond, space: 5000, usable: true}, // slow
+		fakeCandidate{srtt: 50 * time.Millisecond, space: 5000, usable: true},  // should win
+	}
+	if got := s.Pick(cands, 1460); got != 2 {
+		t.Fatalf("Pick = %d, want 2", got)
+	}
+}
+
+func TestLowestRTTNoCandidate(t *testing.T) {
+	s := LowestRTT{}
+	cands := []Candidate{
+		fakeCandidate{srtt: 10 * time.Millisecond, space: 100, usable: true},
+		fakeCandidate{srtt: 20 * time.Millisecond, space: 0, usable: false},
+	}
+	if got := s.Pick(cands, 1460); got != -1 {
+		t.Fatalf("expected no pick, got %d", got)
+	}
+}
+
+func TestBackupOnlyUsedWhenNoRegular(t *testing.T) {
+	s := LowestRTT{}
+	cands := []Candidate{
+		fakeCandidate{srtt: 5 * time.Millisecond, space: 5000, usable: true, backup: true},
+		fakeCandidate{srtt: 100 * time.Millisecond, space: 5000, usable: true},
+	}
+	if got := s.Pick(cands, 1000); got != 1 {
+		t.Fatalf("regular subflow must be preferred over backup, got %d", got)
+	}
+	cands[1] = fakeCandidate{usable: false}
+	if got := s.Pick(cands, 1000); got != 0 {
+		t.Fatalf("backup must be used when no regular subflow is usable, got %d", got)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	s := &RoundRobin{}
+	cands := []Candidate{
+		fakeCandidate{space: 5000, usable: true},
+		fakeCandidate{space: 5000, usable: true},
+	}
+	first := s.Pick(cands, 100)
+	second := s.Pick(cands, 100)
+	if first == second {
+		t.Fatalf("round robin did not rotate: %d then %d", first, second)
+	}
+}
+
+func TestHighestSpace(t *testing.T) {
+	s := HighestSpace{}
+	cands := []Candidate{
+		fakeCandidate{space: 1000, usable: true},
+		fakeCandidate{space: 9000, usable: true},
+		fakeCandidate{space: 4000, usable: true},
+	}
+	if got := s.Pick(cands, 100); got != 1 {
+		t.Fatalf("Pick = %d, want 1", got)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	if New("round-robin").Name() != "round-robin" {
+		t.Fatal("factory ignored round-robin")
+	}
+	if New("highest-space").Name() != "highest-space" {
+		t.Fatal("factory ignored highest-space")
+	}
+	if New("unknown").Name() != "lowest-rtt" {
+		t.Fatal("unknown names must fall back to lowest-rtt")
+	}
+}

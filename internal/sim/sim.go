@@ -1,0 +1,295 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// time base for the emulated network, the TCP endpoints and the MPTCP
+// connection layer.
+//
+// All protocol code in this repository is written against sim.Clock rather
+// than the wall clock, which makes experiments reproducible (a fixed RNG seed
+// yields a bit-identical packet trace) and lets multi-minute transfers run in
+// milliseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	// At is the absolute simulation time at which the event fires.
+	At time.Duration
+	// Fn is invoked when the event fires. It must not block.
+	Fn func()
+
+	seq      uint64 // tie-breaker for deterministic ordering
+	index    int    // heap index, -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e == nil || e.canceled }
+
+// eventQueue is a min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all endpoints attached to one Simulator run on its event
+// loop.
+type Simulator struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	rng     *RNG
+
+	// Processed counts events executed so far, useful for run-away detection
+	// in tests.
+	Processed uint64
+
+	// MaxEvents aborts Run with an error when more than this many events have
+	// been processed (0 means no limit).
+	MaxEvents uint64
+}
+
+// New returns a simulator with its clock at zero and a deterministic RNG
+// seeded with seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// RNG returns the simulator's deterministic random number generator.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Schedule schedules fn to run after delay d (relative to Now). Negative
+// delays are clamped to zero. The returned event can be canceled.
+func (s *Simulator) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now+d, fn)
+}
+
+// ScheduleAt schedules fn at absolute time at. Times in the past are clamped
+// to the current time.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Cancel removes a previously scheduled event. Canceling a nil, fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&s.queue, ev.index)
+	ev.index = -1
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// step executes the earliest event. It returns false when the queue is empty.
+func (s *Simulator) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*Event)
+	s.now = ev.At
+	s.Processed++
+	if !ev.canceled {
+		ev.Fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains. It returns an error if
+// MaxEvents is exceeded.
+func (s *Simulator) Run() error {
+	for s.step() {
+		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with firing times <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the deadline.
+func (s *Simulator) RunUntil(deadline time.Duration) error {
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		if !s.step() {
+			break
+		}
+		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunFor runs the simulation for d beyond the current time.
+func (s *Simulator) RunFor(d time.Duration) error { return s.RunUntil(s.now + d) }
+
+// Timer is a restartable one-shot timer bound to a simulator, analogous to a
+// kernel timer (e.g. the TCP retransmission timer).
+type Timer struct {
+	sim *Simulator
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer creates a stopped timer that invokes fn when it expires.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil fn")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d. Any previously pending expiry is
+// canceled.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.sim.Schedule(d, t.fire)
+}
+
+// ResetIfStopped arms the timer only if it is not already pending.
+func (t *Timer) ResetIfStopped(d time.Duration) {
+	if !t.Pending() {
+		t.Reset(d)
+	}
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop cancels a pending expiry. It is safe to call on a stopped timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil && !t.ev.Canceled() }
+
+// ExpiresAt returns the absolute expiry time, or a negative duration if the
+// timer is stopped.
+func (t *Timer) ExpiresAt() time.Duration {
+	if !t.Pending() {
+		return -1
+	}
+	return t.ev.At
+}
+
+// RNG is a small, fast deterministic PRNG (xorshift64*). It intentionally does
+// not use math/rand so that traces remain stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a deterministic RNG. A zero seed is mapped to a fixed
+// non-zero constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,332 @@
+package tcp
+
+import (
+	"time"
+
+	"mptcpgo/internal/buffer"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+)
+
+// HandleSegment implements netem.SegmentHandler; every segment addressed to
+// this endpoint's four-tuple lands here.
+func (e *Endpoint) HandleSegment(_ *netem.Interface, seg *packet.Segment) {
+	if e.state == StateClosed {
+		return
+	}
+	e.stats.SegmentsReceived++
+	e.stats.BytesReceived += uint64(len(seg.Payload))
+
+	switch e.state {
+	case StateSynSent:
+		e.handleSynSent(seg)
+		return
+	case StateSynReceived:
+		e.handleSynReceived(seg)
+		return
+	}
+
+	// RST processing: accept if the sequence number is within the window.
+	if seg.Flags.Has(packet.FlagRST) {
+		if e.sequenceAcceptable(seg) || seg.Seq == e.rcvNxt {
+			e.teardown(ErrReset)
+		}
+		return
+	}
+
+	if ts, ok := seg.FindOption(packet.OptTimestamps).(*packet.TimestampsOption); ok && !e.cfg.DisableTimestamps {
+		e.peerTSOK = true
+		e.tsRecent = ts.Val
+	}
+
+	e.hooks.OnSegmentReceived(e, seg)
+	e.processAck(seg)
+	if e.state == StateClosed {
+		return
+	}
+	e.processPayload(seg)
+}
+
+// handleSynSent processes the SYN/ACK of an active open.
+func (e *Endpoint) handleSynSent(seg *packet.Segment) {
+	if seg.Flags.Has(packet.FlagRST) {
+		e.teardown(ErrReset)
+		return
+	}
+	if !seg.Flags.Has(packet.FlagSYN) || !seg.Flags.Has(packet.FlagACK) {
+		return
+	}
+	if seg.Ack != e.iss.Add(1) {
+		// Acknowledgement doesn't cover our SYN; reset per RFC 793.
+		rst := &packet.Segment{Src: e.local, Dst: e.remote, Seq: seg.Ack, Flags: packet.FlagRST}
+		e.iface.Send(rst)
+		return
+	}
+	e.processSYNOptions(seg)
+	e.hooks.OnSegmentReceived(e, seg)
+	e.irs = seg.Seq
+	e.rcvNxt = seg.Seq.Add(1)
+	e.sndUna = seg.Ack
+	e.sndWnd = int(seg.Window)
+	e.recvQueue = buffer.NewByteQueue(0)
+	// Remove the SYN chunk from the retransmission queue and take an RTT
+	// sample from the handshake.
+	if len(e.retransQ) > 0 && e.retransQ[0].syn {
+		if e.retransQ[0].transmissions == 1 {
+			e.sampleRTT(e.sim.Now() - e.retransQ[0].sentAt)
+		}
+		e.retransQ = e.retransQ[1:]
+	}
+	e.rtoTimer.Stop()
+	e.setState(StateEstablished)
+	// Third ACK of the handshake (hooks add MP_CAPABLE with both keys).
+	e.SendAck()
+	e.output()
+	e.hooks.OnSendSpaceAvailable(e)
+	e.maybeNotifyWritable()
+}
+
+// handleSynReceived processes the final ACK of a passive open.
+func (e *Endpoint) handleSynReceived(seg *packet.Segment) {
+	if seg.Flags.Has(packet.FlagRST) {
+		e.teardown(ErrReset)
+		return
+	}
+	if seg.Flags.Has(packet.FlagSYN) {
+		// Retransmitted SYN: retransmit our SYN/ACK.
+		if len(e.retransQ) > 0 && e.retransQ[0].syn {
+			e.transmitChunk(e.retransQ[0], true)
+		}
+		return
+	}
+	if !seg.Flags.Has(packet.FlagACK) || seg.Ack != e.iss.Add(1) {
+		return
+	}
+	e.sndUna = seg.Ack
+	e.sndWnd = int(seg.Window) << uint(e.peerWndShift)
+	e.recvQueue = buffer.NewByteQueue(0)
+	if len(e.retransQ) > 0 && e.retransQ[0].syn {
+		if e.retransQ[0].transmissions == 1 {
+			e.sampleRTT(e.sim.Now() - e.retransQ[0].sentAt)
+		}
+		e.retransQ = e.retransQ[1:]
+	}
+	e.rtoTimer.Stop()
+	e.setState(StateEstablished)
+	e.hooks.OnSegmentReceived(e, seg)
+	// The third ACK may already carry data.
+	if len(seg.Payload) > 0 || seg.Flags.Has(packet.FlagFIN) {
+		e.processPayload(seg)
+	}
+	e.output()
+	e.hooks.OnSendSpaceAvailable(e)
+	e.maybeNotifyWritable()
+}
+
+// sequenceAcceptable implements the RFC 793 acceptability test, loosely.
+func (e *Endpoint) sequenceAcceptable(seg *packet.Segment) bool {
+	win := uint32(e.rcvBufActual)
+	if win == 0 {
+		return seg.Seq == e.rcvNxt
+	}
+	return seg.Seq.InRange(e.rcvNxt, e.rcvNxt.Add(win)) ||
+		seg.EndSeq().InRange(e.rcvNxt.Add(1), e.rcvNxt.Add(win))
+}
+
+// processPayload reassembles in-order data, manages the out-of-order queue
+// and acknowledges.
+func (e *Endpoint) processPayload(seg *packet.Segment) {
+	hasFin := seg.Flags.Has(packet.FlagFIN)
+	if len(seg.Payload) == 0 && !hasFin {
+		return
+	}
+
+	segSeq := seg.Seq
+	payload := seg.Payload
+
+	// Trim data we already have.
+	if segSeq.LessThan(e.rcvNxt) {
+		skip := int(e.rcvNxt.DiffFrom(segSeq))
+		if skip >= len(payload) {
+			if !hasFin || seg.EndSeq().LessThanEq(e.rcvNxt) {
+				// Entirely old segment: re-ACK so the sender resynchronizes.
+				e.scheduleAck(true)
+				return
+			}
+			payload = nil
+			segSeq = e.rcvNxt
+		} else {
+			payload = payload[skip:]
+			segSeq = e.rcvNxt
+		}
+	}
+
+	if segSeq == e.rcvNxt {
+		// In-order: deliver directly.
+		if len(payload) > 0 {
+			e.deliver(segSeq, payload)
+			e.rcvNxt = e.rcvNxt.Add(uint32(len(payload)))
+		}
+		// Drain anything now contiguous from the out-of-order queue.
+		rel := uint64(uint32(e.rcvNxt.DiffFrom(e.irs.Add(1))))
+		for _, it := range e.recvOfo.PopContiguous(rel) {
+			e.deliver(e.rcvNxt, it.Data)
+			e.rcvNxt = e.rcvNxt.Add(uint32(len(it.Data)))
+			rel = it.End()
+		}
+		e.pruneSackRanges()
+		if hasFin {
+			// The FIN occupies the sequence number just after the segment's
+			// original payload; it is in sequence once everything before it
+			// has been delivered.
+			finSeq := seg.Seq.Add(uint32(len(seg.Payload)))
+			if finSeq == e.rcvNxt {
+				e.handleFIN()
+			}
+		}
+		e.scheduleAck(hasFin || e.recvOfo.Len() > 0)
+		if len(payload) > 0 || hasFin {
+			e.notifyReadable()
+		}
+		return
+	}
+
+	// Out of order: queue it (at the subflow level the offset from the ISN is
+	// used, which stays consistent across sequence-rewriting middleboxes
+	// because both Seq and ISN are rewritten together).
+	if len(payload) > 0 {
+		rel := uint64(uint32(segSeq.DiffFrom(e.irs.Add(1))))
+		e.recvOfo.Insert(buffer.Item{Seq: rel, Data: append([]byte(nil), payload...)})
+		e.recordSackRange(segSeq, segSeq.Add(uint32(len(payload))))
+	}
+	// Immediate duplicate ACK to trigger the peer's fast retransmit.
+	e.scheduleAck(true)
+}
+
+// deliver hands in-order payload to the application buffer or, for MPTCP
+// subflows, to the connection-level hook.
+func (e *Endpoint) deliver(seq packet.SeqNum, data []byte) {
+	e.stats.BytesDelivered += uint64(len(data))
+	rel := uint32(seq.DiffFrom(e.irs.Add(1)))
+	e.hooks.OnDataDelivered(e, rel, data)
+	if e.recvQueue != nil && !e.cfg.PayloadToHooksOnly {
+		e.recvQueue.Append(data)
+	}
+	e.maybeAutotuneRecvBuffer(len(data))
+}
+
+// maybeAutotuneRecvBuffer grows the receive buffer toward its configured
+// maximum when the incoming rate suggests the current buffer limits
+// throughput (a simplified dynamic right-sizing).
+func (e *Endpoint) maybeAutotuneRecvBuffer(n int) {
+	if !e.cfg.AutoTuneBuffers || e.rcvBufActual >= e.rcvBufMax {
+		return
+	}
+	now := e.sim.Now()
+	if e.rttWindowStart == 0 {
+		e.rttWindowStart = now
+	}
+	e.rttDataCount += n
+	rtt := e.SRTT()
+	if rtt <= 0 {
+		rtt = 100 * time.Millisecond
+	}
+	if now-e.rttWindowStart >= rtt {
+		if 2*e.rttDataCount > e.rcvBufActual {
+			e.rcvBufActual = minInt(e.rcvBufMax, maxInt(2*e.rttDataCount, e.rcvBufActual*2))
+		}
+		e.rttDataCount = 0
+		e.rttWindowStart = now
+	}
+}
+
+// handleFIN processes an in-sequence FIN from the peer.
+func (e *Endpoint) handleFIN() {
+	if e.finReceived {
+		return
+	}
+	e.finReceived = true
+	e.rcvNxt = e.rcvNxt.Add(1)
+	switch e.state {
+	case StateEstablished:
+		e.setState(StateCloseWait)
+	case StateFinWait1:
+		// Our FIN is still unacknowledged: simultaneous close.
+		e.setState(StateClosing)
+	case StateFinWait2:
+		e.enterTimeWait()
+	}
+	e.notifyReadable()
+}
+
+func (e *Endpoint) notifyReadable() {
+	if e.OnReadable != nil {
+		e.OnReadable()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Acknowledgement generation
+// ---------------------------------------------------------------------------
+
+// scheduleAck sends an ACK now or arms the delayed-ACK timer.
+func (e *Endpoint) scheduleAck(immediate bool) {
+	if !e.cfg.DelayedACK || immediate {
+		e.cancelDelayedAck()
+		e.SendAck()
+		return
+	}
+	e.delackPending++
+	if e.delackPending >= 2 {
+		e.cancelDelayedAck()
+		e.SendAck()
+		return
+	}
+	if !e.delackTimer.Pending() {
+		e.delackTimer.Reset(40 * time.Millisecond)
+	}
+}
+
+func (e *Endpoint) flushDelayedAck() {
+	if e.delackPending > 0 {
+		e.delackPending = 0
+		e.SendAck()
+	}
+}
+
+func (e *Endpoint) cancelDelayedAck() {
+	e.delackPending = 0
+	e.delackTimer.Stop()
+}
+
+// cancelDelayedAckIfCovered clears the pending delayed ACK when an outgoing
+// segment already carries the current acknowledgement.
+func (e *Endpoint) cancelDelayedAckIfCovered(seg *packet.Segment) {
+	if seg.Flags.Has(packet.FlagACK) && seg.Ack == e.rcvNxt {
+		e.delackPending = 0
+		e.delackTimer.Stop()
+	}
+}
+
+// maybeSendWindowUpdate advertises newly freed receive buffer after the
+// application reads, so a sender stalled on a closed window can resume
+// (avoiding the flow-control deadlock discussed in §3.3.1).
+func (e *Endpoint) maybeSendWindowUpdate() {
+	if !e.IsEstablished() {
+		return
+	}
+	current := e.advertisedWindowBytes()
+	grown := current - e.lastAdvertisedWnd
+	if grown >= e.EffectiveMSS() || (e.lastAdvertisedWnd == 0 && current > 0) ||
+		(current >= e.rcvBufActual/4 && grown >= e.rcvBufActual/4) {
+		e.SendAck()
+	}
+}
+
+// ForceWindowUpdate sends an immediate window-update ACK; the MPTCP layer
+// calls it when connection-level buffer space frees up.
+func (e *Endpoint) ForceWindowUpdate() {
+	if e.IsEstablished() {
+		e.SendAck()
+	}
+}

@@ -1,0 +1,514 @@
+package tcp
+
+import (
+	"time"
+
+	"mptcpgo/internal/packet"
+)
+
+// makeSegment builds an outgoing segment with the current acknowledgement and
+// advertised window.
+func (e *Endpoint) makeSegment(flags packet.Flags, seq packet.SeqNum, payload []byte, opts []packet.Option) *packet.Segment {
+	seg := &packet.Segment{
+		Src:     e.local,
+		Dst:     e.remote,
+		Seq:     seq,
+		Flags:   flags,
+		Payload: payload,
+	}
+	if len(opts) > 0 {
+		seg.Options = append(seg.Options, opts...)
+	}
+	// Every segment carries an acknowledgement except the very first SYN of
+	// an active open (no peer sequence is known yet).
+	if e.state != StateSynSent || flags.Has(packet.FlagACK) {
+		seg.Flags |= packet.FlagACK
+		seg.Ack = e.rcvNxt
+		if !flags.Has(packet.FlagSYN) {
+			if sack := e.sackOption(); sack != nil {
+				seg.Options = append(seg.Options, sack)
+			}
+		}
+	}
+	// Timestamps provide retransmission-ambiguity-free RTT samples.
+	if !e.cfg.DisableTimestamps && (flags.Has(packet.FlagSYN) || e.peerTSOK) {
+		seg.Options = append(seg.Options, &packet.TimestampsOption{
+			Val:  uint32(e.sim.Now() / time.Millisecond),
+			Echo: e.tsRecent,
+		})
+	}
+	seg.Window = e.windowField(flags.Has(packet.FlagSYN))
+	return seg
+}
+
+// windowField computes the value to place in the TCP window field, applying
+// window scaling (except on SYN segments, which are never scaled).
+func (e *Endpoint) windowField(isSYN bool) uint16 {
+	win := e.advertisedWindowBytes()
+	e.lastAdvertisedWnd = win
+	if isSYN {
+		if win > 65535 {
+			win = 65535
+		}
+		return uint16(win)
+	}
+	shift := uint(e.rcvWndShift)
+	scaled := win >> shift
+	if scaled > 65535 {
+		scaled = 65535
+	}
+	return uint16(scaled)
+}
+
+// advertisedWindowBytes returns the receive window to advertise: either the
+// hook-provided connection-level window (MPTCP) or the free space in this
+// endpoint's receive buffer.
+func (e *Endpoint) advertisedWindowBytes() int {
+	if win, ok := e.hooks.AdvertiseWindow(e); ok {
+		if win < 0 {
+			win = 0
+		}
+		return win
+	}
+	used := e.ReceiveQueuedBytes()
+	win := e.rcvBufActual - used
+	if win < 0 {
+		win = 0
+	}
+	return win
+}
+
+// synOptions returns the options advertised on SYN and SYN/ACK segments.
+func (e *Endpoint) synOptions() []packet.Option {
+	opts := []packet.Option{
+		&packet.MSSOption{MSS: uint16(e.cfg.MSS)},
+		&packet.SACKPermittedOption{},
+	}
+	if e.cfg.WindowScale > 0 {
+		opts = append(opts, &packet.WindowScaleOption{Shift: uint8(e.cfg.WindowScale)})
+		e.rcvWndShift = uint8(e.cfg.WindowScale)
+	}
+	return opts
+}
+
+// processSYNOptions applies the peer's SYN/SYN-ACK options.
+func (e *Endpoint) processSYNOptions(seg *packet.Segment) {
+	e.peerWndShift = 0
+	for _, o := range seg.Options {
+		switch opt := o.(type) {
+		case *packet.MSSOption:
+			e.peerMSS = int(opt.MSS)
+		case *packet.WindowScaleOption:
+			shift := opt.Shift
+			if shift > 14 {
+				shift = 14
+			}
+			e.peerWndShift = shift
+		case *packet.SACKPermittedOption:
+			e.peerSackOK = true
+		case *packet.TimestampsOption:
+			e.peerTSOK = !e.cfg.DisableTimestamps
+			e.tsRecent = opt.Val
+		}
+	}
+}
+
+// transmitChunk emits one chunk (first transmission or retransmission).
+func (e *Endpoint) transmitChunk(c *chunk, retransmission bool) {
+	flags := packet.Flags(0)
+	var opts []packet.Option
+	if c.syn {
+		flags |= packet.FlagSYN
+		opts = append(opts, e.synOptions()...)
+	}
+	if c.fin {
+		flags |= packet.FlagFIN
+	}
+	if len(c.payload) > 0 {
+		flags |= packet.FlagPSH
+	}
+	opts = append(opts, c.opts...)
+	seg := e.makeSegment(flags, c.seq, append([]byte(nil), c.payload...), opts)
+	c.sentAt = e.sim.Now()
+	c.transmissions++
+	if retransmission {
+		e.stats.Retransmissions++
+	}
+	e.sendSegment(seg, retransmission)
+}
+
+// sendSegment runs the hooks and hands the segment to the interface.
+func (e *Endpoint) sendSegment(seg *packet.Segment, retransmission bool) {
+	e.hooks.OnSegmentSent(e, seg, retransmission)
+	// The hooks may have added MPTCP options; if the 40-byte option space is
+	// now exceeded, shed SACK blocks first (they are advisory), then the
+	// whole SACK option.
+	for !packet.FitsOptionSpace(seg.Options) {
+		sack, _ := seg.FindOption(packet.OptSACK).(*packet.SACKOption)
+		if sack == nil {
+			break
+		}
+		if len(sack.Blocks) > 1 {
+			sack.Blocks = sack.Blocks[:len(sack.Blocks)-1]
+			continue
+		}
+		seg.RemoveOptions(func(o packet.Option) bool { return o.Kind() == packet.OptSACK })
+	}
+	e.stats.SegmentsSent++
+	e.stats.BytesSent += uint64(len(seg.Payload))
+	e.cancelDelayedAckIfCovered(seg)
+	e.iface.Send(seg)
+}
+
+// output transmits as much queued data as the congestion window (and, for
+// plain TCP, the peer's receive window) allows.
+func (e *Endpoint) output() {
+	if e.state == StateSynSent || e.state == StateSynReceived {
+		return // data flows once established; SYN already in flight
+	}
+	if !e.IsEstablished() && e.state != StateClosing && e.state != StateLastAck {
+		return
+	}
+	for len(e.sendQueue) > 0 {
+		c := e.sendQueue[0]
+		allowance := e.SendSpace()
+		if len(c.payload) > 0 && allowance < len(c.payload) && e.BytesInFlight() > 0 {
+			// Not enough room for the whole chunk; wait for ACKs (sending
+			// partial chunks would complicate MPTCP mappings for no gain).
+			break
+		}
+		if len(c.payload) > 0 && allowance <= 0 {
+			break
+		}
+		// Zero-window deadlock protection for plain TCP: if nothing is in
+		// flight and the peer window is closed, the persist timer takes over.
+		if !e.cfg.ConnectionLevelWindow && len(c.payload) > 0 &&
+			e.sndWnd-e.BytesInFlight() < len(c.payload) && e.BytesInFlight() == 0 {
+			e.armPersist()
+			break
+		}
+		e.sendQueue = e.sendQueue[1:]
+		c.seq = e.sndNxt
+		e.sndNxt = e.sndNxt.Add(c.seqLen())
+		e.retransQ = append(e.retransQ, c)
+		if c.fin {
+			e.onFINSent()
+		}
+		e.transmitChunk(c, false)
+		if e.firstUnackedSince == 0 {
+			e.firstUnackedSince = e.sim.Now()
+		}
+	}
+	if len(e.retransQ) > 0 {
+		e.rtoTimer.ResetIfStopped(e.backedOffRTO())
+	}
+}
+
+// onFINSent updates connection state when our FIN enters the network.
+func (e *Endpoint) onFINSent() {
+	switch e.state {
+	case StateEstablished:
+		e.setState(StateFinWait1)
+	case StateCloseWait:
+		e.setState(StateLastAck)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Acknowledgement processing
+// ---------------------------------------------------------------------------
+
+// processAck handles the ACK field of an incoming segment.
+func (e *Endpoint) processAck(seg *packet.Segment) {
+	if !seg.Flags.Has(packet.FlagACK) {
+		return
+	}
+	ack := seg.Ack
+
+	// Update the peer's advertised window (scaled except on SYN segments).
+	wnd := int(seg.Window)
+	if !seg.Flags.Has(packet.FlagSYN) {
+		wnd <<= uint(e.peerWndShift)
+	}
+	windowGrew := wnd > e.sndWnd
+	e.sndWnd = wnd
+
+	if sack, ok := seg.FindOption(packet.OptSACK).(*packet.SACKOption); ok {
+		e.processSack(sack)
+	}
+
+	// A timestamp echo on an ACK advancing the cumulative point gives a
+	// retransmission-ambiguity-free RTT sample.
+	var tsSample time.Duration
+	if ts, ok := seg.FindOption(packet.OptTimestamps).(*packet.TimestampsOption); ok && ts.Echo != 0 && !e.cfg.DisableTimestamps {
+		echoed := time.Duration(ts.Echo) * time.Millisecond
+		if now := e.sim.Now(); now >= echoed {
+			tsSample = now - echoed
+		}
+	}
+
+	switch {
+	case ack.LessThanEq(e.sndUna):
+		// Duplicate or old ACK.
+		if ack == e.sndUna && len(seg.Payload) == 0 && len(e.retransQ) > 0 && !windowGrew {
+			e.stats.DupAcksReceived++
+			e.dupAcks++
+			e.onDupAck()
+		}
+	case ack.LessThanEq(e.sndNxt):
+		e.onAckAdvance(ack, tsSample)
+	default:
+		// ACK for data we never sent; ignore (blind or corrupted).
+		return
+	}
+
+	if windowGrew || ack == e.sndNxt {
+		e.persistTimer.Stop()
+	}
+	if !e.cfg.ConnectionLevelWindow && e.sndWnd == 0 && len(e.sendQueue) > 0 {
+		e.armPersist()
+	}
+
+	e.output()
+	e.hooks.OnSendSpaceAvailable(e)
+	e.maybeNotifyWritable()
+}
+
+// onAckAdvance handles an ACK that acknowledges new data. tsSample, when
+// non-zero, is the RTT measured from the segment's timestamp echo.
+func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
+	ackedBytes := int(ack.DiffFrom(e.sndUna))
+	e.sndUna = ack
+	e.rtoBackoff = 0
+	e.firstUnackedSince = 0
+
+	rttSample := tsSample
+	// Release fully acknowledged chunks. When timestamps are off, the RTT
+	// sample is taken from the chunk at the leading edge of the
+	// acknowledgement, and only if it was never retransmitted (Karn's
+	// algorithm); sampling older chunks would inflate the estimate whenever
+	// a cumulative ACK jumps across a repaired hole.
+	for len(e.retransQ) > 0 {
+		c := e.retransQ[0]
+		if c.endSeq().LessThanEq(ack) {
+			if !e.peerTSOK {
+				if c.transmissions == 1 {
+					rttSample = e.sim.Now() - c.sentAt
+				} else {
+					rttSample = 0
+				}
+			}
+			e.queuedBytes -= len(c.payload)
+			e.retransQ = e.retransQ[1:]
+			continue
+		}
+		// Partial chunk acknowledgement (middleboxes may resegment): trim.
+		if c.seq.LessThan(ack) {
+			trim := int(ack.DiffFrom(c.seq))
+			if trim > len(c.payload) {
+				trim = len(c.payload)
+			}
+			c.payload = c.payload[trim:]
+			c.seq = ack
+			e.queuedBytes -= trim
+		}
+		break
+	}
+
+	if rttSample > 0 {
+		e.sampleRTT(rttSample)
+	}
+
+	if e.inRecovery {
+		if e.recoveryEnd.LessThanEq(ack) {
+			e.inRecovery = false
+			e.recoveryInfl = 0
+			e.dupAcks = 0
+			e.ctrl.OnRecoveryExit()
+		} else {
+			// Partial ACK: the first chunk is a hole the peer still misses;
+			// repair it (even if it was already retransmitted this episode —
+			// the partial ACK proves that copy did not arrive), then fill
+			// the pipe with further hole repairs.
+			if len(e.retransQ) > 0 && !e.retransQ[0].sacked {
+				e.retransQ[0].rtxEpoch = e.recoveryEpoch
+				e.transmitChunk(e.retransQ[0], true)
+			}
+			e.recoveryTransmit()
+		}
+	} else {
+		e.dupAcks = 0
+		e.ctrl.OnAck(ackedBytes, rttSample)
+	}
+
+	// Detect whether our FIN has been acknowledged.
+	if e.finQueued && len(e.retransQ) == 0 && len(e.sendQueue) == 0 {
+		switch e.state {
+		case StateFinWait1:
+			e.setState(StateFinWait2)
+		case StateClosing:
+			e.enterTimeWait()
+		case StateLastAck:
+			e.teardown(nil)
+			return
+		}
+	}
+
+	if len(e.retransQ) == 0 {
+		e.rtoTimer.Stop()
+	} else {
+		e.rtoTimer.Reset(e.backedOffRTO())
+	}
+}
+
+// onDupAck implements fast retransmit / fast recovery with SACK-based hole
+// repair: every duplicate ACK lets the sender retransmit one more missing
+// chunk, so a burst of losses within one window is repaired in roughly one
+// round trip.
+func (e *Endpoint) onDupAck() {
+	if e.inRecovery {
+		// Each duplicate ACK signals that a segment left the network; repair
+		// further holes as the pipe estimate allows.
+		e.recoveryTransmit()
+		e.output()
+		return
+	}
+	if e.dupAcks == 3 && len(e.retransQ) > 0 {
+		e.stats.FastRetransmits++
+		e.inRecovery = true
+		e.recoveryEnd = e.sndNxt
+		e.recoveryInfl = 0
+		e.recoveryEpoch++
+		e.ctrl.OnFastRetransmit()
+		if !e.retransmitNextHole() {
+			e.transmitChunk(e.retransQ[0], true)
+		}
+		e.recoveryTransmit()
+		e.rtoTimer.Reset(e.backedOffRTO())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+func (e *Endpoint) sampleRTT(sample time.Duration) {
+	if e.baseRTT == 0 || sample < e.baseRTT {
+		e.baseRTT = sample
+	}
+	if e.srtt == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + sample) / 8
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.cfg.MinRTO {
+		rto = e.cfg.MinRTO
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	e.rto = rto
+}
+
+func (e *Endpoint) backedOffRTO() time.Duration {
+	rto := e.rto
+	for i := 0; i < e.rtoBackoff; i++ {
+		rto *= 2
+		if rto >= e.cfg.MaxRTO {
+			return e.cfg.MaxRTO
+		}
+	}
+	return rto
+}
+
+func (e *Endpoint) armRTO() {
+	e.rtoTimer.Reset(e.backedOffRTO())
+}
+
+// onRTO handles a retransmission timeout.
+func (e *Endpoint) onRTO() {
+	if len(e.retransQ) == 0 {
+		return
+	}
+	if e.cfg.UserTimeout > 0 && e.firstUnackedSince > 0 &&
+		e.sim.Now()-e.firstUnackedSince > e.cfg.UserTimeout {
+		e.teardown(ErrTimeout)
+		return
+	}
+	e.stats.Timeouts++
+	e.rtoBackoff++
+	if e.rtoBackoff > 10 {
+		e.teardown(ErrTimeout)
+		return
+	}
+	e.inRecovery = false
+	e.recoveryInfl = 0
+	e.dupAcks = 0
+	e.recoveryEpoch++
+	// After a timeout the SACK scoreboard may be stale (the peer could have
+	// discarded out-of-order data); start over.
+	e.clearSackState()
+	e.ctrl.OnTimeout()
+	e.transmitChunk(e.retransQ[0], true)
+	e.rtoTimer.Reset(e.backedOffRTO())
+}
+
+// armPersist schedules a zero-window probe.
+func (e *Endpoint) armPersist() {
+	if e.persistTimer.Pending() {
+		return
+	}
+	e.persistTimer.Reset(maxDur(e.backedOffRTO(), 500*time.Millisecond))
+}
+
+// onPersist sends a zero-window probe: one byte of the next pending chunk.
+func (e *Endpoint) onPersist() {
+	if e.state == StateClosed || len(e.sendQueue) == 0 || e.sndWnd > 0 {
+		return
+	}
+	e.stats.PersistProbes++
+	c := e.sendQueue[0]
+	if len(c.payload) > 1 {
+		// Split off a one-byte probe chunk that carries the same options so
+		// any attached MPTCP mapping still covers its byte range.
+		probe := &chunk{payload: append([]byte(nil), c.payload[:1]...), opts: c.opts}
+		c.payload = c.payload[1:]
+		rest := append([]*chunk{probe}, e.sendQueue...)
+		e.sendQueue = rest
+		probe.seq = e.sndNxt
+		e.sndNxt = e.sndNxt.Add(1)
+		e.sendQueue = e.sendQueue[1:]
+		e.retransQ = append(e.retransQ, probe)
+		e.transmitChunk(probe, false)
+	} else {
+		e.sendQueue = e.sendQueue[1:]
+		c.seq = e.sndNxt
+		e.sndNxt = e.sndNxt.Add(c.seqLen())
+		e.retransQ = append(e.retransQ, c)
+		e.transmitChunk(c, false)
+	}
+	e.rtoTimer.ResetIfStopped(e.backedOffRTO())
+	e.persistTimer.Reset(2 * e.backedOffRTO())
+}
+
+func (e *Endpoint) maybeNotifyWritable() {
+	if e.OnWritable != nil && e.SendBufferSpace() > 0 {
+		e.OnWritable()
+	}
+}
+
+// enterTimeWait schedules the final teardown after 2*MSL.
+func (e *Endpoint) enterTimeWait() {
+	e.setState(StateTimeWait)
+	if e.timeWaitTimer == nil {
+		e.timeWaitTimer = e.sim.NewTimer(func() { e.teardown(nil) })
+	}
+	e.timeWaitTimer.Reset(e.cfg.TimeWaitDuration)
+}

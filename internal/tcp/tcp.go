@@ -1,0 +1,263 @@
+// Package tcp implements a single-path TCP endpoint on top of the emulated
+// network. It provides the substrate the paper's MPTCP implementation builds
+// on: the three-way handshake, cumulative acknowledgements, retransmission
+// timeout with Jacobson/Karels RTT estimation, fast retransmit and NewReno
+// recovery, receive-window flow control with window scaling, connection
+// teardown, and buffer management.
+//
+// The endpoint exposes a small set of hooks (Hooks) through which the MPTCP
+// layer in internal/core attaches per-segment option processing, redirects
+// in-order payload to the connection-level reassembly queue and substitutes
+// the shared connection-level receive window for the per-subflow one. With
+// the default no-op hooks the endpoint behaves as ordinary single-path TCP
+// and serves as the baseline in every experiment.
+package tcp
+
+import (
+	"time"
+
+	"mptcpgo/internal/cc"
+	"mptcpgo/internal/packet"
+)
+
+// State is the TCP connection state.
+type State int
+
+// TCP states (RFC 793).
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynReceived
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateListen:
+		return "LISTEN"
+	case StateSynSent:
+		return "SYN_SENT"
+	case StateSynReceived:
+		return "SYN_RCVD"
+	case StateEstablished:
+		return "ESTABLISHED"
+	case StateFinWait1:
+		return "FIN_WAIT_1"
+	case StateFinWait2:
+		return "FIN_WAIT_2"
+	case StateCloseWait:
+		return "CLOSE_WAIT"
+	case StateClosing:
+		return "CLOSING"
+	case StateLastAck:
+		return "LAST_ACK"
+	case StateTimeWait:
+		return "TIME_WAIT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Config carries endpoint parameters. The zero value is usable; defaults are
+// filled in by WithDefaults.
+type Config struct {
+	// MSS is the maximum segment size in bytes (default 1460).
+	MSS int
+	// SendBufBytes bounds the send queue (unsent plus unacknowledged data).
+	SendBufBytes int
+	// RecvBufBytes bounds the receive buffer; it also bounds the advertised
+	// window.
+	RecvBufBytes int
+	// AutoTuneBuffers enables send/receive buffer autotuning: the effective
+	// buffer grows with the congestion window up to the configured maximum.
+	AutoTuneBuffers bool
+
+	// WindowScale is the receive-window scale shift to advertise. A negative
+	// value disables window scaling; zero selects an automatic shift large
+	// enough to cover RecvBufBytes.
+	WindowScale int
+
+	// DelayedACK enables acknowledging every other segment (with a 40 ms
+	// cap) instead of every segment.
+	DelayedACK bool
+
+	// DisableTimestamps turns off RFC 1323 timestamps. They are on by
+	// default because the retransmission-ambiguity-free RTT samples they
+	// provide are what keeps the RTO sane across loss bursts.
+	DisableTimestamps bool
+
+	// InitialRTO is the retransmission timeout before the first RTT sample.
+	InitialRTO time.Duration
+	// MinRTO and MaxRTO clamp the computed retransmission timeout.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+
+	// UserTimeout aborts the connection when data remains unacknowledged for
+	// this long (zero disables).
+	UserTimeout time.Duration
+
+	// CongestionControl constructs the congestion controller; nil selects
+	// NewReno.
+	CongestionControl func(cc.Config) cc.Controller
+
+	// ConnectionLevelWindow makes the endpoint ignore the peer's advertised
+	// receive window when deciding how much to transmit: MPTCP subflows are
+	// governed by the shared connection-level window instead (§3.3.1).
+	ConnectionLevelWindow bool
+
+	// PayloadToHooksOnly suppresses the endpoint's own application receive
+	// queue: in-order payload is delivered exclusively through
+	// Hooks.OnDataDelivered. MPTCP subflows set this because data is
+	// buffered once, at the connection level.
+	PayloadToHooksOnly bool
+
+	// TimeWaitDuration is how long the endpoint lingers in TIME_WAIT.
+	TimeWaitDuration time.Duration
+}
+
+// WithDefaults returns the configuration with unset fields defaulted.
+func (c Config) WithDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.SendBufBytes <= 0 {
+		c.SendBufBytes = 256 << 10
+	}
+	if c.RecvBufBytes <= 0 {
+		c.RecvBufBytes = 256 << 10
+	}
+	if c.WindowScale == 0 {
+		shift := 0
+		for (65535 << shift) < c.RecvBufBytes && shift < 14 {
+			shift++
+		}
+		c.WindowScale = shift
+	}
+	if c.WindowScale < 0 {
+		c.WindowScale = 0
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = 1 * time.Second
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 60 * time.Second
+	}
+	if c.CongestionControl == nil {
+		c.CongestionControl = func(cfg cc.Config) cc.Controller { return cc.NewNewReno(cfg) }
+	}
+	if c.TimeWaitDuration <= 0 {
+		c.TimeWaitDuration = 2 * time.Second
+	}
+	return c
+}
+
+// Hooks is the extension interface the MPTCP layer implements for each
+// subflow. All methods are called synchronously on the simulator goroutine.
+type Hooks interface {
+	// OnSegmentSent is invoked just before a segment is handed to the
+	// interface; implementations append MPTCP options (DSS, DATA_ACK,
+	// MP_CAPABLE echo, ADD_ADDR, ...). retransmission reports whether the
+	// segment repeats previously sent sequence space.
+	OnSegmentSent(e *Endpoint, seg *packet.Segment, retransmission bool)
+	// OnSegmentReceived is invoked for every arriving segment before it is
+	// processed, so mappings and data-level acknowledgements can be recorded
+	// regardless of subflow-level ordering.
+	OnSegmentReceived(e *Endpoint, seg *packet.Segment)
+	// OnDataDelivered receives in-order subflow payload. relSeq is the
+	// offset of data[0] from the peer's initial sequence number + 1, i.e.
+	// the same coordinate space the DSS subflow offset uses.
+	OnDataDelivered(e *Endpoint, relSeq uint32, data []byte)
+	// OnStateChange reports endpoint state transitions.
+	OnStateChange(e *Endpoint, old, new State)
+	// OnSendSpaceAvailable is invoked whenever acknowledgements or window
+	// updates may allow more data to be sent; the MPTCP scheduler uses it.
+	OnSendSpaceAvailable(e *Endpoint)
+	// AdvertiseWindow lets the hook substitute the connection-level receive
+	// window (in bytes) for the subflow's own. ok=false keeps the
+	// endpoint's computation.
+	AdvertiseWindow(e *Endpoint) (win int, ok bool)
+}
+
+// NopHooks is the default no-op hook set used by plain TCP endpoints.
+type NopHooks struct{}
+
+// OnSegmentSent implements Hooks.
+func (NopHooks) OnSegmentSent(*Endpoint, *packet.Segment, bool) {}
+
+// OnSegmentReceived implements Hooks.
+func (NopHooks) OnSegmentReceived(*Endpoint, *packet.Segment) {}
+
+// OnDataDelivered implements Hooks.
+func (NopHooks) OnDataDelivered(*Endpoint, uint32, []byte) {}
+
+// OnStateChange implements Hooks.
+func (NopHooks) OnStateChange(*Endpoint, State, State) {}
+
+// OnSendSpaceAvailable implements Hooks.
+func (NopHooks) OnSendSpaceAvailable(*Endpoint) {}
+
+// AdvertiseWindow implements Hooks.
+func (NopHooks) AdvertiseWindow(*Endpoint) (int, bool) { return 0, false }
+
+// chunk is one send-queue entry: at most one MSS of payload plus the options
+// that must accompany it on the wire (for MPTCP, its data sequence mapping).
+// SYN and FIN are represented as flag-only chunks so that the retransmission
+// machinery handles them uniformly.
+type chunk struct {
+	seq     packet.SeqNum
+	payload []byte
+	opts    []packet.Option
+	syn     bool
+	fin     bool
+
+	sentAt        time.Duration
+	transmissions int
+
+	// sacked marks the chunk as selectively acknowledged by the peer; it is
+	// skipped during loss recovery and not retransmitted.
+	sacked bool
+	// rtxEpoch records the recovery episode in which the chunk was last
+	// retransmitted, so each hole is repaired at most once per episode.
+	rtxEpoch int
+}
+
+// seqLen returns the amount of sequence space the chunk occupies.
+func (c *chunk) seqLen() uint32 {
+	n := uint32(len(c.payload))
+	if c.syn {
+		n++
+	}
+	if c.fin {
+		n++
+	}
+	return n
+}
+
+func (c *chunk) endSeq() packet.SeqNum { return c.seq.Add(c.seqLen()) }
+
+// Stats aggregates per-endpoint counters used by experiments and tests.
+type Stats struct {
+	SegmentsSent     uint64
+	SegmentsReceived uint64
+	BytesSent        uint64
+	BytesReceived    uint64
+	BytesDelivered   uint64
+	Retransmissions  uint64
+	Timeouts         uint64
+	FastRetransmits  uint64
+	DupAcksReceived  uint64
+	PersistProbes    uint64
+}

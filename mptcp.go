@@ -1,0 +1,184 @@
+// Package mptcpgo is a library-level reproduction of "How Hard Can It Be?
+// Designing and Implementing a Deployable Multipath TCP" (NSDI 2012): a full
+// Multipath TCP implementation (MP_CAPABLE/MP_JOIN handshakes, data sequence
+// mappings with checksums, explicit DATA_ACKs, shared receive buffer,
+// fallback to regular TCP, and the paper's sender-side mechanisms) running
+// over a deterministic discrete-event network emulator, together with the
+// experiment harnesses that regenerate every figure of the paper's
+// evaluation.
+//
+// The package is the public facade: it wires together the internal packages
+// (netem, tcp, core, experiments) into a small API for building emulated
+// multipath networks, opening MPTCP or TCP connections over them and running
+// the paper's scenarios. See the examples/ directory for runnable programs
+// and DESIGN.md for the system inventory.
+package mptcpgo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// PathSpec describes one bidirectional path between the client and the
+// server of a simulation.
+type PathSpec struct {
+	// Name labels the path in traces ("wifi", "3g", ...).
+	Name string
+	// RateMbps is the link rate in megabits per second (0 = unlimited).
+	RateMbps float64
+	// RTT is the base round-trip time of the path.
+	RTT time.Duration
+	// QueueBytes is the bottleneck buffer in bytes (0 = unlimited). Deep
+	// queues reproduce cellular bufferbloat.
+	QueueBytes int
+	// LossRate is the random loss probability per packet.
+	LossRate float64
+}
+
+func (p PathSpec) toInternal() netem.PathSpec {
+	lc := netem.LinkConfig{
+		RateBps:    int64(p.RateMbps * 1e6),
+		Delay:      p.RTT / 2,
+		QueueBytes: p.QueueBytes,
+		LossRate:   p.LossRate,
+	}
+	return netem.PathSpec{Name: p.Name, Config: netem.PathConfig{AB: lc, BA: lc}}
+}
+
+// WiFiPath returns the paper's emulated WiFi path (8 Mbps, 20 ms RTT, 80 ms
+// of buffering).
+func WiFiPath() PathSpec {
+	return PathSpec{Name: "wifi", RateMbps: 8, RTT: 20 * time.Millisecond, QueueBytes: 80 << 10}
+}
+
+// ThreeGPath returns the paper's emulated 3G path (2 Mbps, 150 ms RTT, two
+// seconds of buffering).
+func ThreeGPath() PathSpec {
+	return PathSpec{Name: "3g", RateMbps: 2, RTT: 150 * time.Millisecond, QueueBytes: 500 << 10}
+}
+
+// GigabitPath returns a 1 Gbps datacenter-style path.
+func GigabitPath(name string) PathSpec {
+	return PathSpec{Name: name, RateMbps: 1000, RTT: 200 * time.Microsecond, QueueBytes: 512 << 10}
+}
+
+// Config selects the connection behaviour. The zero value is not valid; use
+// DefaultConfig, RegularMPTCPConfig or TCPConfig as a starting point.
+type Config = core.Config
+
+// DefaultConfig returns MPTCP with every mechanism from the paper enabled
+// (the "MPTCP+M1,2" configuration plus autotuning and DSS checksums).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RegularMPTCPConfig returns MPTCP with the sender-side mechanisms disabled
+// ("regular MPTCP" in Figure 4).
+func RegularMPTCPConfig() Config { return core.RegularMPTCPConfig() }
+
+// TCPConfig returns single-path TCP (the baseline in every experiment).
+func TCPConfig() Config { return core.TCPOnlyConfig() }
+
+// Conn is an established (or establishing) connection: a byte stream striped
+// across one or more subflows.
+type Conn = core.Connection
+
+// Listener accepts connections on the server host.
+type Listener = core.Listener
+
+// Simulation is a client and a server connected by one or more paths, with
+// an MPTCP stack on each side, driven by a deterministic discrete-event
+// clock.
+type Simulation struct {
+	sim    *sim.Simulator
+	net    *netem.Network
+	client *core.Manager
+	server *core.Manager
+}
+
+// NewSimulation builds a client/server topology with one path per spec.
+func NewSimulation(seed uint64, paths ...PathSpec) *Simulation {
+	if len(paths) == 0 {
+		paths = []PathSpec{WiFiPath(), ThreeGPath()}
+	}
+	specs := make([]netem.PathSpec, len(paths))
+	for i, p := range paths {
+		specs[i] = p.toInternal()
+	}
+	s := sim.New(seed)
+	n := netem.Build(s, specs...)
+	return &Simulation{
+		sim:    s,
+		net:    n,
+		client: core.NewManager(n.Client),
+		server: core.NewManager(n.Server),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Simulation) Now() time.Duration { return s.sim.Now() }
+
+// Run advances the simulation by d.
+func (s *Simulation) Run(d time.Duration) error { return s.sim.RunFor(d) }
+
+// RunUntil advances the simulation to the absolute time t.
+func (s *Simulation) RunUntil(t time.Duration) error { return s.sim.RunUntil(t) }
+
+// Schedule runs fn after delay d of simulated time.
+func (s *Simulation) Schedule(d time.Duration, fn func()) { s.sim.Schedule(d, fn) }
+
+// Listen installs a server listener on the given port; accept is invoked for
+// every new connection before any data arrives.
+func (s *Simulation) Listen(port uint16, cfg Config, accept func(*Conn)) (*Listener, error) {
+	return s.server.Listen(port, cfg, accept)
+}
+
+// Dial opens a connection from the client's i-th interface to the server's
+// address on the same path index.
+func (s *Simulation) Dial(ifaceIndex int, port uint16, cfg Config) (*Conn, error) {
+	ifaces := s.net.Client.Interfaces()
+	if ifaceIndex < 0 || ifaceIndex >= len(ifaces) {
+		return nil, fmt.Errorf("mptcpgo: interface index %d out of range (%d interfaces)", ifaceIndex, len(ifaces))
+	}
+	remote := packet.Endpoint{Addr: s.net.ServerAddr(ifaceIndex), Port: port}
+	return s.client.Dial(ifaces[ifaceIndex], remote, cfg)
+}
+
+// SetPathDown fails (or restores) the i-th path; segments on a failed path
+// are silently dropped, modelling mobility or radio loss.
+func (s *Simulation) SetPathDown(i int, down bool) error {
+	if i < 0 || i >= len(s.net.Paths) {
+		return fmt.Errorf("mptcpgo: path index %d out of range", i)
+	}
+	s.net.Path(i).SetDown(down)
+	return nil
+}
+
+// ClientManager exposes the client-side MPTCP stack for advanced use.
+func (s *Simulation) ClientManager() *core.Manager { return s.client }
+
+// ServerManager exposes the server-side MPTCP stack for advanced use.
+func (s *Simulation) ServerManager() *core.Manager { return s.server }
+
+// Internal returns the underlying emulated network for advanced topologies
+// (middlebox chains, link reconfiguration).
+func (s *Simulation) Internal() *netem.Network { return s.net }
+
+// ---------------------------------------------------------------------------
+// Experiment access
+// ---------------------------------------------------------------------------
+
+// ExperimentIDs lists the available paper experiments (fig3..fig11, mbox,
+// rationale).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment runs one of the paper's experiments and writes its tables to
+// w. Set quick to true for a reduced sweep.
+func RunExperiment(w io.Writer, id string, quick bool, seed uint64) error {
+	return experiments.RunAndPrint(w, id, experiments.Options{Quick: quick, Seed: seed})
+}
