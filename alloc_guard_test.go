@@ -1,0 +1,103 @@
+package mptcpgo
+
+import (
+	"testing"
+
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
+)
+
+// Allocation-regression guards: the pooled hot paths introduced for the
+// Figure 3 / §4.3 performance work must stay allocation-free. These tests
+// fail loudly if a change reintroduces per-segment allocation.
+//
+// testing.AllocsPerRun averages over many runs, so a single GC-induced pool
+// miss does not flake the guard; a systematic regression (one alloc per
+// cycle) pushes the average to ≥1 and fails.
+
+// TestPooledPayloadCycleNoAllocs guards pool.Bytes/pool.Copy/pool.Recycle.
+func TestPooledPayloadCycleNoAllocs(t *testing.T) {
+	src := make([]byte, 1460)
+	for i := 0; i < 8; i++ {
+		pool.Recycle(pool.Bytes(1460)) // warm the class
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		b := pool.Copy(src)
+		pool.Recycle(b)
+	})
+	if avg >= 1 {
+		t.Fatalf("pooled payload copy/recycle cycle allocates %.2f allocs/op; want 0", avg)
+	}
+}
+
+// TestPooledSegmentCycleNoAllocs guards the segment build/release cycle —
+// the per-hop cost of every emulated packet.
+func TestPooledSegmentCycleNoAllocs(t *testing.T) {
+	payload := make([]byte, 1460)
+	for i := 0; i < 8; i++ {
+		seg := packet.NewSegment()
+		seg.AttachPayload(pool.Copy(payload))
+		seg.Release() // warm segment and payload pools
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		seg := packet.NewSegment()
+		seg.Src = packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 1), Port: 40000}
+		seg.Dst = packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 2), Port: 80}
+		seg.Flags = packet.FlagACK | packet.FlagPSH
+		seg.AttachPayload(pool.Copy(payload))
+		seg.Release()
+	})
+	if avg >= 1 {
+		t.Fatalf("pooled segment cycle allocates %.2f allocs/op; want 0", avg)
+	}
+}
+
+// TestChecksumNoAllocs guards the word-at-a-time checksum paths (Figure 3's
+// hot loop): neither the plain Internet checksum nor the DSS checksum with
+// its stack pseudo-header may allocate.
+func TestChecksumNoAllocs(t *testing.T) {
+	buf := make([]byte, 1460)
+	var sink uint16
+	avg := testing.AllocsPerRun(500, func() {
+		sink ^= packet.Checksum(buf)
+		sink ^= packet.DSSChecksum(1234, 5678, 1460, buf)
+	})
+	_ = sink
+	if avg != 0 {
+		t.Fatalf("checksum paths allocate %.2f allocs/op; want 0", avg)
+	}
+}
+
+// TestChecksumMatchesReference cross-checks the optimized word-at-a-time
+// checksum against the definitional byte-at-a-time sum on assorted lengths
+// and alignment-hostile sizes.
+func TestChecksumMatchesReference(t *testing.T) {
+	reference := func(sum uint32, data []byte) uint32 {
+		i, n := 0, len(data)
+		for ; i+1 < n; i += 2 {
+			sum += uint32(data[i])<<8 | uint32(data[i+1])
+		}
+		if i < n {
+			sum += uint32(data[i]) << 8
+		}
+		return sum
+	}
+	fold := packet.FoldChecksum
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 536, 1459, 1460, 8960} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*131 + n)
+		}
+		want := fold(reference(0, data))
+		got := fold(packet.PartialChecksum(0, data))
+		if got != want {
+			t.Fatalf("len=%d: checksum %#04x, reference %#04x", n, got, want)
+		}
+		// Composed partial sums (pseudo-header + payload) must agree too.
+		want = fold(reference(reference(0, data[:n/2*2]), data[n/2*2:]))
+		got = fold(packet.PartialChecksum(packet.PartialChecksum(0, data[:n/2*2]), data[n/2*2:]))
+		if got != want {
+			t.Fatalf("len=%d: composed checksum %#04x, reference %#04x", n, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
 	"mptcpgo/internal/sim"
 )
 
@@ -78,6 +79,7 @@ func benchmarkChecksum(b *testing.B, size int) {
 		buf[i] = byte(i)
 	}
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink uint16
 	for i := 0; i < b.N; i++ {
@@ -92,6 +94,7 @@ func BenchmarkChecksum8960(b *testing.B) { benchmarkChecksum(b, 8960) }
 func BenchmarkDSSChecksum1460(b *testing.B) {
 	buf := make([]byte, 1460)
 	b.SetBytes(1460)
+	b.ReportAllocs()
 	var sink uint16
 	for i := 0; i < b.N; i++ {
 		sink ^= packet.DSSChecksum(packet.DataSeq(i), uint32(i), 1460, buf)
@@ -148,6 +151,7 @@ func ofoWorkload(subflows, segments, batch int) []buffer.Item {
 func benchmarkOfo(b *testing.B, alg buffer.Algorithm, subflows int) {
 	items := ofoWorkload(subflows, 4096, 64)
 	var steps uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := buffer.NewOfoQueue(alg)
@@ -156,6 +160,7 @@ func benchmarkOfo(b *testing.B, alg buffer.Algorithm, subflows int) {
 			q.Insert(it)
 			for _, out := range q.PopContiguous(next) {
 				next = out.End()
+				pool.Recycle(out.Data) // popped items transfer ownership
 			}
 		}
 		steps = q.Steps()
@@ -196,6 +201,51 @@ func benchmarkKeyGeneration(b *testing.B, established int) {
 func BenchmarkKeyGeneration0Conns(b *testing.B)    { benchmarkKeyGeneration(b, 0) }
 func BenchmarkKeyGeneration100Conns(b *testing.B)  { benchmarkKeyGeneration(b, 100) }
 func BenchmarkKeyGeneration1000Conns(b *testing.B) { benchmarkKeyGeneration(b, 1000) }
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkSegmentPool measures the pooled build/release cycle of a data
+// segment — the per-hop cost of the emulator's forwarding plane. Expected:
+// 0 allocs/op at steady state.
+func BenchmarkSegmentPool(b *testing.B) {
+	payload := make([]byte, 1460)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg := packet.NewSegment()
+		seg.Src = packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 1), Port: 40000}
+		seg.Dst = packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 2), Port: 80}
+		seg.Seq = packet.SeqNum(i)
+		seg.Flags = packet.FlagACK | packet.FlagPSH
+		seg.AttachPayload(pool.Copy(payload))
+		seg.Release()
+	}
+}
+
+// BenchmarkBulkTransferAllocs runs a short WiFi+3G bulk transfer and reports
+// allocs/op: the end-to-end allocation footprint of the full stack (segment
+// and payload pools, send-queue slicing, OFO recycling, event free list).
+func BenchmarkBulkTransferAllocs(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.SendBufBytes = 256 << 10
+	cfg.RecvBufBytes = 256 << 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBulk(experiments.BulkOptions{
+			Seed:     uint64(i + 1),
+			Specs:    netem.WiFi3GSpec(),
+			Client:   cfg,
+			Server:   cfg,
+			Duration: 3 * time.Second,
+			Warmup:   1 * time.Second,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Wire codec benchmarks

@@ -1,0 +1,3 @@
+module mptcpgo
+
+go 1.21

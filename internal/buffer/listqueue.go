@@ -113,7 +113,8 @@ func (q *listQueue) Insert(it Item) int {
 		it.Data = it.Data[:keep]
 	}
 
-	// 3. Splice in the new node.
+	// 3. Splice in the new node, adopting a pool-owned copy of the payload.
+	adoptItemData(&it)
 	n := &listNode{it: it}
 	q.insertAfter(after, n)
 	q.count++
@@ -306,6 +307,7 @@ func (q *listQueue) PopContiguous(nextSeq uint64) []Item {
 	for q.head != nil {
 		n := q.head
 		if n.it.End() <= nextSeq {
+			discardItemData(&n.it)
 			q.removeNode(n)
 			continue
 		}

@@ -1,5 +1,7 @@
 package buffer
 
+import "mptcpgo/internal/pool"
+
 // Item is one out-of-order segment held at the connection level, keyed by its
 // data sequence number.
 type Item struct {
@@ -24,10 +26,14 @@ type OfoQueue interface {
 	// Insert adds an item arriving on the given subflow. Fully duplicate
 	// items are dropped. It returns the number of elementary search steps
 	// (node visits / comparisons) performed, the proxy used for CPU cost.
+	//
+	// The queue stores a pool-owned copy of it.Data; the caller keeps
+	// ownership of (and may immediately reuse) the slice it passed in.
 	Insert(it Item) int
 	// PopContiguous removes and returns the maximal run of items that starts
 	// exactly at nextSeq, in order. Items entirely below nextSeq are
-	// discarded.
+	// discarded. Ownership of each returned item's Data passes to the
+	// caller, which should pool.Recycle it once consumed.
 	PopContiguous(nextSeq uint64) []Item
 	// Len returns the number of queued items.
 	Len() int
@@ -105,4 +111,17 @@ func trimItem(it *Item, nextSeq uint64) bool {
 		it.Seq = nextSeq
 	}
 	return len(it.Data) > 0
+}
+
+// adoptItemData replaces the item's (borrowed) data slice with a pool-owned
+// copy; implementations call it right before storing a new item.
+func adoptItemData(it *Item) {
+	it.Data = pool.Copy(it.Data)
+}
+
+// discardItemData recycles the pool-owned buffer of an item the queue is
+// dropping internally (fully-duplicate or below the delivery point).
+func discardItemData(it *Item) {
+	pool.Recycle(it.Data)
+	it.Data = nil
 }

@@ -66,6 +66,7 @@ func (q *treeQueue) Insert(it Item) int {
 		it.Data = it.Data[:keep]
 	}
 
+	adoptItemData(&it)
 	q.root = q.insertNode(q.root, &treeNode{it: it, prio: q.nextPrio()}, &steps)
 	q.count++
 	q.bytes += len(it.Data)
@@ -180,6 +181,7 @@ func (q *treeQueue) PopContiguous(nextSeq uint64) []Item {
 			break
 		}
 		if min.it.End() <= nextSeq {
+			discardItemData(&min.it)
 			q.popMin()
 			continue
 		}

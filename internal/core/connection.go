@@ -85,6 +85,12 @@ type Connection struct {
 
 	subflows      []*Subflow
 	nextSubflowID int
+
+	// Scratch slices reused by the per-chunk scheduling hot path (see
+	// usableSubflows and schedulerCandidates).
+	usableScratch []*Subflow
+	subsScratch   []*Subflow
+	candScratch   []sched.Candidate
 	// remoteAddrs are addresses learned through ADD_ADDR.
 	remoteAddrs []packet.Endpoint
 	// usedRemote tracks remote endpoints already used by a subflow.
@@ -97,11 +103,14 @@ type Connection struct {
 
 	// ---- data-level send state (relative sequence numbers, 0-based) ----
 	autotunedSndBuf int
-	sndBuf        *buffer.ByteQueue
-	dataUna       uint64
-	dataNxt       uint64
-	rwndLimit     uint64
-	inflight      []*txMapping
+	sndBuf          *buffer.ByteQueue
+	dataUna         uint64
+	dataNxt         uint64
+	rwndLimit       uint64
+	inflight        []*txMapping
+	// mappingFree recycles txMapping structs popped by cumulative DATA_ACKs
+	// (one mapping is created per transmitted chunk).
+	mappingFree   []*txMapping
 	dataFinQueued bool
 	dataFinSent   bool
 	dataFinAcked  bool
@@ -134,12 +143,12 @@ type Connection struct {
 func newConnection(mgr *Manager, cfg Config, isClient bool) *Connection {
 	cfg = cfg.withDefaults()
 	c := &Connection{
-		mgr:        mgr,
-		cfg:        cfg,
-		sim:        mgr.host.Sim(),
-		isClient:   isClient,
-		scheduler:  sched.New(cfg.Scheduler),
-		ccGroup:    cc.NewCoupledGroup(),
+		mgr:          mgr,
+		cfg:          cfg,
+		sim:          mgr.host.Sim(),
+		isClient:     isClient,
+		scheduler:    sched.New(cfg.Scheduler),
+		ccGroup:      cc.NewCoupledGroup(),
 		sndBuf:       buffer.NewByteQueue(0),
 		rcvBuf:       buffer.NewByteQueue(0),
 		ofo:          buffer.NewOfoQueue(cfg.OfoAlgorithm),
@@ -594,13 +603,19 @@ func (c *Connection) removeSubflow(s *Subflow) {
 	}
 }
 
+// usableSubflows returns the usable subflows in a scratch slice reused
+// between calls: it runs several times per transmitted chunk, so it must not
+// allocate. Callers may iterate the result but must not retain it across
+// another usableSubflows call (schedulerCandidates keeps its own scratch for
+// exactly that reason).
 func (c *Connection) usableSubflows() []*Subflow {
-	var out []*Subflow
+	out := c.usableScratch[:0]
 	for _, s := range c.subflows {
 		if s.Usable() {
 			out = append(out, s)
 		}
 	}
+	c.usableScratch = out
 	return out
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
 )
 
 // onSubflowData maps in-order subflow payload into the connection-level data
@@ -129,6 +130,7 @@ func (c *Connection) insertData(s *Subflow, dataSeq uint64, data []byte) {
 			if n := c.ofoBySubflow[it.Subflow]; n > 0 {
 				c.ofoBySubflow[it.Subflow] = maxInt(0, n-len(it.Data))
 			}
+			pool.Recycle(it.Data)
 		}
 		c.maybeConsumeRemoteDataFin()
 		if c.OnReadable != nil {

@@ -88,13 +88,21 @@ func (c *Connection) pump() {
 	c.maybeSendDataFin()
 }
 
-// schedulerCandidates builds the scheduler's view of the current subflows.
+// schedulerCandidates builds the scheduler's view of the current subflows in
+// scratch slices owned by the connection. The result is valid until the next
+// schedulerCandidates call; it is kept separate from the usableSubflows
+// scratch because sendMapping (called between Pick and the next rebuild)
+// re-enters usableSubflows via the retransmission-timer arming.
 func (c *Connection) schedulerCandidates() ([]sched.Candidate, []*Subflow) {
-	subs := c.usableSubflows()
-	cands := make([]sched.Candidate, len(subs))
-	for i, s := range subs {
-		cands[i] = s
+	subs := c.subsScratch[:0]
+	cands := c.candScratch[:0]
+	for _, s := range c.subflows {
+		if s.Usable() {
+			subs = append(subs, s)
+			cands = append(cands, s)
+		}
 	}
+	c.subsScratch, c.candScratch = subs, cands
 	return cands, subs
 }
 
@@ -123,13 +131,21 @@ func (c *Connection) sendMapping(sf *Subflow, dataSeq uint64, data []byte, reinj
 	c.stats.MappingsSent++
 	now := c.sim.Now()
 	if reinject == nil {
-		c.inflight = append(c.inflight, &txMapping{
+		var m *txMapping
+		if n := len(c.mappingFree); n > 0 {
+			m = c.mappingFree[n-1]
+			c.mappingFree = c.mappingFree[:n-1]
+		} else {
+			m = &txMapping{}
+		}
+		*m = txMapping{
 			dataSeq:     dataSeq,
 			length:      len(data),
 			subflow:     sf,
 			sentAt:      now,
 			sfOffsetEnd: uint64(offset) + uint64(len(data)),
-		})
+		}
+		c.inflight = append(c.inflight, m)
 	} else {
 		reinject.lastReinject = now
 		reinject.reinjections++
@@ -315,6 +331,7 @@ func (c *Connection) onDataAck(from *Subflow, relAck uint64, windowBytes int) {
 		c.dataUna = relAck
 		c.sndBuf.TrimTo(minUint64(c.dataUna, c.sndBuf.TailOffset()))
 		for len(c.inflight) > 0 && c.inflight[0].end() <= c.dataUna {
+			c.mappingFree = append(c.mappingFree, c.inflight[0])
 			c.inflight = c.inflight[1:]
 		}
 		if c.dataFinSent && !c.dataFinAcked && c.dataUna >= c.dataFinSeq+1 {

@@ -105,13 +105,17 @@ func runFig11(opt Options) ([]*Table, error) {
 
 	table := NewTable(fmt.Sprintf("HTTP requests/second (%d closed-loop clients, %d requests per point)", clients, requests),
 		"transfer size", "regular TCP", "bonding TCP", "MPTCP")
-	for _, size := range sizes {
+	modes := []string{"tcp", "bonding", "mptcp"}
+	results, err := sweepGrid(len(sizes), len(modes), func(r, c int) (httpsim.PoolResult, error) {
+		return RunFig11Point(opt.Seed+uint64(sizes[r]), modes[c], sizes[r], clients, requests)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, size := range sizes {
 		row := []string{fmt.Sprintf("%dKB", size>>10)}
-		for _, mode := range []string{"tcp", "bonding", "mptcp"} {
-			res, err := RunFig11Point(opt.Seed+uint64(size), mode, size, clients, requests)
-			if err != nil {
-				return nil, err
-			}
+		for c := range modes {
+			res := results[r][c]
 			if res.Completed < requests {
 				row = append(row, fmt.Sprintf("%.0f (only %d/%d done)", res.RequestsPerSec, res.Completed, requests))
 			} else {

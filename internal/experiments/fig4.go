@@ -39,9 +39,9 @@ func fig4Duration(quick bool) (time.Duration, time.Duration) {
 
 // fig4Variant is one curve of the figure.
 type fig4Variant struct {
-	name   string
-	cfg    func(buf int) core.Config
-	iface  int
+	name    string
+	cfg     func(buf int) core.Config
+	iface   int
 	goodput bool
 }
 
@@ -65,21 +65,26 @@ func runFig4(opt Options) ([]*Table, error) {
 	goodputTable := NewTable("Goodput vs throughput for MPTCP+M1 (opportunistic retransmission overhead)",
 		"rcv/snd buffer", "goodput Mbps", "throughput Mbps")
 
-	for _, buf := range buffers {
+	variants := fig4Variants()
+	results, err := sweepGrid(len(buffers), len(variants), func(r, c int) (BulkResult, error) {
+		buf, v := buffers[r], variants[c]
+		return RunBulk(BulkOptions{
+			Seed:        opt.Seed + uint64(buf),
+			Specs:       netem.WiFi3GSpec(),
+			Client:      v.cfg(buf),
+			Server:      v.cfg(buf),
+			ClientIface: v.iface,
+			Duration:    duration,
+			Warmup:      warmup,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, buf := range buffers {
 		row := []string{fmt.Sprintf("%dKB", buf>>10)}
-		for _, v := range fig4Variants() {
-			res, err := RunBulk(BulkOptions{
-				Seed:        opt.Seed + uint64(buf),
-				Specs:       netem.WiFi3GSpec(),
-				Client:      v.cfg(buf),
-				Server:      v.cfg(buf),
-				ClientIface: v.iface,
-				Duration:    duration,
-				Warmup:      warmup,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for c, v := range variants {
+			res := results[r][c]
 			row = append(row, fmtMbps(res.GoodputMbps))
 			if v.name == "MPTCP+M1" {
 				goodputTable.AddRow(fmt.Sprintf("%dKB", buf>>10), fmtMbps(res.GoodputMbps), fmtMbps(res.ThroughputMbps))

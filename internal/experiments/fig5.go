@@ -37,29 +37,33 @@ func runFig5(opt Options) ([]*Table, error) {
 	receiver := NewTable("Receiver memory (mean KB) vs configured receive buffer",
 		append([]string{"max buffer"}, variantNames(variants)...)...)
 
-	for _, buf := range buffers {
+	results, err := sweepGrid(len(buffers), len(variants), func(r, c int) (BulkResult, error) {
+		buf, v := buffers[r], variants[c]
+		cfg := v.cfg(buf)
+		// Single-path TCP baselines use the endpoint's own autotuning.
+		if !cfg.EnableMPTCP {
+			cfg.SubflowTemplate.AutoTuneBuffers = true
+		}
+		return RunBulk(BulkOptions{
+			Seed:           opt.Seed + uint64(buf)*7,
+			Specs:          netem.WiFi3GSpec(),
+			Client:         cfg,
+			Server:         cfg,
+			ClientIface:    v.iface,
+			Duration:       duration,
+			Warmup:         warmup,
+			MemorySampling: true,
+			SampleInterval: 50 * time.Millisecond,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, buf := range buffers {
 		srow := []string{fmt.Sprintf("%dKB", buf>>10)}
 		rrow := []string{fmt.Sprintf("%dKB", buf>>10)}
-		for _, v := range variants {
-			cfg := v.cfg(buf)
-			// Single-path TCP baselines use the endpoint's own autotuning.
-			if !cfg.EnableMPTCP {
-				cfg.SubflowTemplate.AutoTuneBuffers = true
-			}
-			res, err := RunBulk(BulkOptions{
-				Seed:           opt.Seed + uint64(buf)*7,
-				Specs:          netem.WiFi3GSpec(),
-				Client:         cfg,
-				Server:         cfg,
-				ClientIface:    v.iface,
-				Duration:       duration,
-				Warmup:         warmup,
-				MemorySampling: true,
-				SampleInterval: 50 * time.Millisecond,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for c := range variants {
+			res := results[r][c]
 			srow = append(srow, fmt.Sprintf("%.0f", res.SenderMemMeanKB))
 			rrow = append(rrow, fmt.Sprintf("%.0f", res.ReceiverMemMeanKB))
 		}

@@ -93,22 +93,25 @@ func runFig6(opt Options, which string) ([]*Table, error) {
 	sc := fig6Config(which, opt.Quick)
 	table := NewTable(fmt.Sprintf("Fig. 6(%s): goodput (Mbps) vs rcv/snd buffer", which),
 		append([]string{"buffer"}, variantNames(sc.variants)...)...)
-	for _, buf := range sc.buffers {
+	results, err := sweepGrid(len(sc.buffers), len(sc.variants), func(r, c int) (BulkResult, error) {
+		buf, v := sc.buffers[r], sc.variants[c]
+		return RunBulk(BulkOptions{
+			Seed:        opt.Seed + uint64(buf)*13,
+			Specs:       sc.specs,
+			Client:      v.cfg(buf),
+			Server:      v.cfg(buf),
+			ClientIface: v.iface,
+			Duration:    sc.duration,
+			Warmup:      sc.warmup,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, buf := range sc.buffers {
 		row := []string{fmt.Sprintf("%.2fMB", float64(buf)/(1<<20))}
-		for _, v := range sc.variants {
-			res, err := RunBulk(BulkOptions{
-				Seed:        opt.Seed + uint64(buf)*13,
-				Specs:       sc.specs,
-				Client:      v.cfg(buf),
-				Server:      v.cfg(buf),
-				ClientIface: v.iface,
-				Duration:    sc.duration,
-				Warmup:      sc.warmup,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtMbps(res.GoodputMbps))
+		for c := range sc.variants {
+			row = append(row, fmtMbps(results[r][c].GoodputMbps))
 		}
 		table.AddRow(row...)
 	}

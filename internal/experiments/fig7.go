@@ -35,8 +35,9 @@ func runFig7(opt Options) ([]*Table, error) {
 		"variant", "mean", "p50", "p95", "max", "blocks")
 	var pdfs []*Table
 
-	for _, v := range variants {
-		res, err := RunBulk(BulkOptions{
+	results, err := Sweep(len(variants), func(i int) (BulkResult, error) {
+		v := variants[i]
+		return RunBulk(BulkOptions{
 			Seed:        opt.Seed + 77,
 			Specs:       netem.WiFi3GSpec(),
 			Client:      v.cfg(buf),
@@ -46,10 +47,12 @@ func runFig7(opt Options) ([]*Table, error) {
 			Warmup:      warmup,
 			BlockSize:   8 << 10,
 		})
-		if err != nil {
-			return nil, err
-		}
-		h := res.AppDelay
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		h := results[i].AppDelay
 		if h == nil || h.Total() == 0 {
 			summary.AddRow(v.name, "-", "-", "-", "-", "0")
 			continue

@@ -36,24 +36,29 @@ func runFig8(opt Options) ([]*Table, error) {
 	table := NewTable("Reassembly cost per received segment (search steps; lower is cheaper)",
 		"algorithm", "2 subflows", "8 subflows", "goodput 2sf (Mbps)", "goodput 8sf (Mbps)")
 
-	for _, alg := range buffer.Algorithms() {
+	algs := buffer.Algorithms()
+	perIfaces := []int{1, 4} // 2 paths × {1,4} = 2 and 8 subflows
+	results, err := sweepGrid(len(algs), len(perIfaces), func(r, c int) (BulkResult, error) {
+		cfg := mptcpM12(4 << 20)
+		cfg.OfoAlgorithm = algs[r]
+		cfg.SubflowsPerInterface = perIfaces[c]
+		return RunBulk(BulkOptions{
+			Seed:     opt.Seed + uint64(algs[r])*31 + uint64(perIfaces[c]),
+			Specs:    netem.DualGigabitSpec(),
+			Client:   cfg,
+			Server:   cfg,
+			Duration: duration,
+			Warmup:   warmup,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, alg := range algs {
 		row := []string{alg.String()}
 		var goodputs []string
-		for _, perIface := range []int{1, 4} { // 2 paths × {1,4} = 2 and 8 subflows
-			cfg := mptcpM12(4 << 20)
-			cfg.OfoAlgorithm = alg
-			cfg.SubflowsPerInterface = perIface
-			res, err := RunBulk(BulkOptions{
-				Seed:     opt.Seed + uint64(alg)*31 + uint64(perIface),
-				Specs:    netem.DualGigabitSpec(),
-				Client:   cfg,
-				Server:   cfg,
-				Duration: duration,
-				Warmup:   warmup,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for c := range perIfaces {
+			res := results[r][c]
 			stepsPerSeg := 0.0
 			if res.SegmentsDelivered > 0 {
 				stepsPerSeg = float64(res.ReassemblySteps) / float64(res.SegmentsDelivered)

@@ -36,30 +36,34 @@ func runFig9(opt Options) ([]*Table, error) {
 	table := NewTable("Goodput (Mbps) vs rcv/snd buffer (2 Mbps WiFi + 2 Mbps 3G)",
 		append([]string{"buffer"}, variantNames(variants)...)...)
 
-	for _, buf := range buffers {
+	results, err := sweepGrid(len(buffers), len(variants), func(r, c int) (BulkResult, error) {
+		buf, v := buffers[r], variants[c]
+		// The 3G path (index 1) carries the operator's middleboxes; they are
+		// stateful, so each sweep point builds its own chain.
+		boxes := map[int][]netem.Box{
+			1: {
+				middlebox.NewNAT(packet.MakeAddr(100, 64, 0, 1), true),
+				middlebox.NewProactiveACKer(),
+			},
+		}
+		return RunBulk(BulkOptions{
+			Seed:        opt.Seed + uint64(buf)*3,
+			Specs:       netem.Capped3GWiFiSpec(),
+			Boxes:       boxes,
+			Client:      v.cfg(buf),
+			Server:      v.cfg(buf),
+			ClientIface: v.iface,
+			Duration:    duration,
+			Warmup:      warmup,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, buf := range buffers {
 		row := []string{fmt.Sprintf("%dKB", buf>>10)}
-		for _, v := range variants {
-			// The 3G path (index 1) carries the operator's middleboxes.
-			boxes := map[int][]netem.Box{
-				1: {
-					middlebox.NewNAT(packet.MakeAddr(100, 64, 0, 1), true),
-					middlebox.NewProactiveACKer(),
-				},
-			}
-			res, err := RunBulk(BulkOptions{
-				Seed:        opt.Seed + uint64(buf)*3,
-				Specs:       netem.Capped3GWiFiSpec(),
-				Boxes:       boxes,
-				Client:      v.cfg(buf),
-				Server:      v.cfg(buf),
-				ClientIface: v.iface,
-				Duration:    duration,
-				Warmup:      warmup,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtMbps(res.GoodputMbps))
+		for c := range variants {
+			row = append(row, fmtMbps(results[r][c].GoodputMbps))
 		}
 		table.AddRow(row...)
 	}

@@ -63,7 +63,10 @@ func runMbox(opt Options) ([]*Table, error) {
 	table := NewTable("MPTCP behaviour through middleboxes (WiFi+3G, 200KB buffers)",
 		"middlebox", "transfer ok", "mptcp active", "fell back", "subflows", "csum failures", "expected")
 
-	for i, mc := range mboxCases() {
+	cases := mboxCases()
+	results, err := Sweep(len(cases), func(i int) (BulkResult, error) {
+		mc := cases[i]
+		// Middlebox elements are stateful: each sweep point builds its own.
 		boxes := map[int][]netem.Box{0: mc.boxes()}
 		if mc.both {
 			boxes[1] = mc.boxes()
@@ -71,7 +74,7 @@ func runMbox(opt Options) ([]*Table, error) {
 		cfg := core.DefaultConfig()
 		cfg.SendBufBytes = 200 << 10
 		cfg.RecvBufBytes = 200 << 10
-		res, err := RunBulk(BulkOptions{
+		return RunBulk(BulkOptions{
 			Seed:     opt.Seed + uint64(i)*101,
 			Specs:    netem.WiFi3GSpec(),
 			Boxes:    boxes,
@@ -80,9 +83,12 @@ func runMbox(opt Options) ([]*Table, error) {
 			Duration: duration,
 			Warmup:   duration / 4,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mc := range cases {
+		res := results[i]
 		ok := res.GoodputMbps > 0.5 // the transfer made real progress
 		table.AddRow(mc.name,
 			fmt.Sprintf("%v (%.1f Mbps)", ok, res.GoodputMbps),

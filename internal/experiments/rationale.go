@@ -94,16 +94,24 @@ func runRationale(opt Options) ([]*Table, error) {
 
 	table := NewTable("Silent 3G failure at t=2s, 64KB buffers, no rescue mechanisms",
 		"receive-window semantics", "bytes delivered", "transfer completed")
-	for _, perSubflow := range []bool{true, false} {
+	semantics := []bool{true, false}
+	type windowResult struct {
+		received  int
+		completed bool
+	}
+	results, err := Sweep(len(semantics), func(i int) (windowResult, error) {
+		received, completed, err := runWindowScenario(opt.Seed+9, semantics[i], total, deadline)
+		return windowResult{received, completed}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, perSubflow := range semantics {
 		name := "shared connection-level window (MPTCP design)"
 		if perSubflow {
 			name = "per-subflow windows (naive TCP inheritance)"
 		}
-		received, completed, err := runWindowScenario(opt.Seed+9, perSubflow, total, deadline)
-		if err != nil {
-			return nil, err
-		}
-		table.AddRow(name, fmt.Sprintf("%d / %d", received, total), fmt.Sprintf("%v", completed))
+		table.AddRow(name, fmt.Sprintf("%d / %d", results[i].received, total), fmt.Sprintf("%v", results[i].completed))
 	}
 	table.AddNote("paper §3.3.1: with per-subflow windows the data lost on the failed subflow cannot be resent on the surviving one once its window slice has filled — the connection deadlocks; the shared window avoids this by construction")
 	return []*Table{table}, nil

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs fn(i) for every i in [0, n) across up to GOMAXPROCS (by
+// default runtime.NumCPU()) worker goroutines and returns the results in
+// index order.
+//
+// Every experiment sweep point is self-contained — it builds its own
+// sim.Simulator with a seed derived from the point's parameters — so results
+// (and therefore the rendered tables) are bit-identical regardless of how
+// the points are scheduled across workers. Errors are reported from the
+// lowest-indexed failing point so output stays deterministic too.
+func Sweep[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sweepGrid runs a rows × cols grid of sweep points in parallel and returns
+// the results indexed [row][col]. The figure harnesses use it for their
+// buffer × variant sweeps.
+func sweepGrid[T any](rows, cols int, fn func(r, c int) (T, error)) ([][]T, error) {
+	flat, err := Sweep(rows*cols, func(i int) (T, error) {
+		return fn(i/cols, i%cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols]
+	}
+	return out, nil
+}

@@ -77,6 +77,7 @@ func (d *Dropper) Process(_ netem.BoxContext, dir netem.Direction, seg *packet.S
 			d.Remaining--
 		}
 		d.Dropped++
+		seg.Release()
 		return nil
 	}
 	return forward(seg)

@@ -11,8 +11,8 @@ import (
 
 type nopCtx struct{ s *sim.Simulator }
 
-func (c nopCtx) Now() time.Duration                               { return c.s.Now() }
-func (c nopCtx) Sim() *sim.Simulator                              { return c.s }
+func (c nopCtx) Now() time.Duration                              { return c.s.Now() }
+func (c nopCtx) Sim() *sim.Simulator                             { return c.s }
 func (c nopCtx) Inject(dir netem.Direction, seg *packet.Segment) {}
 
 // collectCtx records injected segments.
@@ -103,7 +103,7 @@ func TestSplitterCopiesOptions(t *testing.T) {
 		if frag.MPTCPOption(packet.SubDSS) == nil {
 			t.Fatalf("fragment %d lost the DSS option (TSO copies options)", i)
 		}
-		if frag.Seq != packet.SeqNum(100+ i*4) {
+		if frag.Seq != packet.SeqNum(100+i*4) {
 			t.Fatalf("fragment %d has seq %d", i, frag.Seq)
 		}
 	}
@@ -118,6 +118,7 @@ func TestCoalescerMergesAndKeepsOneOptionSet(t *testing.T) {
 	ctx := &collectCtx{s: s}
 	a := dataSeg(0, "aaaa")
 	b := dataSeg(4, "bbbb")
+	wantOpts := len(a.Options) // the coalescer consumes (releases) a and b
 	out := c.Process(ctx, netem.AtoB, a)
 	if len(out) != 0 {
 		t.Fatal("first segment should be held")
@@ -129,7 +130,7 @@ func TestCoalescerMergesAndKeepsOneOptionSet(t *testing.T) {
 	if string(out[0].Payload) != "aaaabbbb" {
 		t.Fatalf("merged payload = %q", out[0].Payload)
 	}
-	if len(out[0].Options) != len(a.Options) {
+	if len(out[0].Options) != wantOpts {
 		t.Fatal("merged segment should keep only the first segment's options")
 	}
 	// A held segment with no follow-up must eventually be flushed by the

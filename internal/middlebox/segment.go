@@ -5,6 +5,7 @@ import (
 
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
 )
 
 // Splitter resegments large payloads into MSS-sized pieces, copying the TCP
@@ -39,8 +40,8 @@ func (s *Splitter) Process(_ netem.BoxContext, _ netem.Direction, seg *packet.Se
 		if end > len(payload) {
 			end = len(payload)
 		}
-		part := seg.Clone()
-		part.Payload = append([]byte(nil), payload[off:end]...)
+		part := seg.CloneHeader()
+		part.AttachPayload(pool.Copy(payload[off:end]))
 		part.Seq = seq.Add(uint32(off))
 		// Only the last fragment keeps FIN/PSH semantics.
 		if end != len(payload) {
@@ -48,6 +49,7 @@ func (s *Splitter) Process(_ netem.BoxContext, _ netem.Direction, seg *packet.Se
 		}
 		out = append(out, part)
 	}
+	seg.Release() // fully replaced by its fragments
 	return out
 }
 
@@ -98,6 +100,7 @@ func (c *Coalescer) Process(ctx netem.BoxContext, dir netem.Direction, seg *pack
 	held, ok := c.pending[key]
 	if !ok {
 		c.pending[key] = seg.Clone()
+		seg.Release() // the held clone takes over
 		c.held[key] = 1
 		// A normalizer does not hold data indefinitely: flush the pending
 		// segment after a short delay if nothing merges with it.
@@ -118,6 +121,7 @@ func (c *Coalescer) Process(ctx netem.BoxContext, dir netem.Direction, seg *pack
 	held.Payload = append(held.Payload, seg.Payload...)
 	// The merged segment keeps only the held segment's options: option
 	// space cannot hold two full DSS mappings.
+	seg.Release() // its bytes have been merged into the held segment
 	c.held[key]++
 	c.Coalesced++
 	if c.held[key] >= c.Hold {
@@ -171,6 +175,7 @@ func (h *HoleBlocker) Process(_ netem.BoxContext, _ netem.Direction, seg *packet
 	}
 	if len(seg.Payload) > 0 && expected.LessThan(seg.Seq) {
 		h.Blocked++
+		seg.Release()
 		return nil
 	}
 	if expected.LessThan(seg.EndSeq()) {

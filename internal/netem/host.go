@@ -171,15 +171,21 @@ func (h *Host) dispatch(ingress *Interface, seg *packet.Segment) {
 	key := packet.FourTuple{Src: seg.Dst, Dst: seg.Src}
 	if handler, ok := h.conns[key]; ok {
 		handler.HandleSegment(ingress, seg)
+		// The segment has been fully consumed: handlers copy any payload
+		// bytes they keep (receive queues and reassembly buffers own their
+		// own pool buffers), so the segment goes back to the pool here.
+		seg.Release()
 		return
 	}
 	if seg.Flags.Has(packet.FlagSYN) && !seg.Flags.Has(packet.FlagACK) {
 		if l, ok := h.listeners[seg.Dst.Port]; ok {
 			l.HandleSYN(ingress, seg)
+			seg.Release()
 			return
 		}
 	}
 	if h.OnUnmatched != nil {
+		// Probes may retain the segment; ownership passes to the callback.
 		h.OnUnmatched(ingress, seg)
 		return
 	}
@@ -196,6 +202,7 @@ func (h *Host) dispatch(ingress *Interface, seg *packet.Segment) {
 		}
 		ingress.Send(rst)
 	}
+	seg.Release()
 }
 
 // chargeTX applies the CPU model to an outgoing segment and invokes send when
@@ -260,9 +267,17 @@ func (i *Interface) AttachSender(s Sender) { i.out = s }
 // Send transmits a segment out of this interface.
 func (i *Interface) Send(seg *packet.Segment) {
 	if i.out == nil {
+		seg.Release()
 		return
 	}
-	seg.SentAt = i.host.sim.Now()
+	h := i.host
+	seg.SentAt = h.sim.Now()
+	if h.CPU.PerPacket == 0 && h.CPU.PerPayloadByte == 0 {
+		// No CPU model: transmit synchronously without allocating the
+		// deferred-send closure.
+		i.out.Send(seg)
+		return
+	}
 	i.host.chargeTX(seg, func() { i.out.Send(seg) })
 }
 

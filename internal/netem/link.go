@@ -66,6 +66,14 @@ type Link struct {
 	queuedBytes int
 	ordinal     uint64
 
+	// pending carries the wire sizes of queued transmissions to their
+	// dequeue events in FIFO order (serialization completions are scheduled
+	// in monotonically increasing time, so the head always matches the next
+	// firing event). Passing sizes this way lets the per-segment dequeue use
+	// the closure-free ScheduleArgsAt form.
+	pending     []int
+	pendingHead int
+
 	stats LinkStats
 
 	// OnTransmit, if set, is invoked for every segment the link accepts
@@ -105,9 +113,11 @@ func wireSize(seg *packet.Segment) int {
 }
 
 // Send enqueues a segment for transmission. The segment is owned by the link
-// afterwards; callers must Clone if they keep a reference.
+// afterwards; callers must Clone if they keep a reference. Dropped segments
+// are released back to the segment pool.
 func (l *Link) Send(seg *packet.Segment) {
 	if l.dst == nil {
+		seg.Release()
 		return
 	}
 	size := wireSize(seg)
@@ -117,6 +127,7 @@ func (l *Link) Send(seg *packet.Segment) {
 		if l.OnDrop != nil {
 			l.OnDrop(seg, "loss")
 		}
+		seg.Release()
 		return
 	}
 	if l.cfg.QueueBytes > 0 && l.queuedBytes+size > l.cfg.QueueBytes {
@@ -124,6 +135,7 @@ func (l *Link) Send(seg *packet.Segment) {
 		if l.OnDrop != nil {
 			l.OnDrop(seg, "queue-overflow")
 		}
+		seg.Release()
 		return
 	}
 
@@ -151,13 +163,39 @@ func (l *Link) Send(seg *packet.Segment) {
 	done := start + txTime
 	l.busyUntil = done
 
-	l.sim.ScheduleAt(done, func() {
-		l.queuedBytes -= size
-	})
-	l.sim.ScheduleAt(done+l.cfg.Delay, func() {
-		l.stats.DeliveredBytes += uint64(size)
-		l.dst.Receive(seg)
-	})
+	// Both per-segment events go through shared top-level functions so that
+	// neither allocates a closure; the dequeue event pops its size from the
+	// link's pending FIFO.
+	l.pending = append(l.pending, size)
+	l.sim.ScheduleArgsAt(done, dequeueSegment, l, nil)
+	l.sim.ScheduleArgsAt(done+l.cfg.Delay, deliverSegment, l, seg)
+}
+
+// dequeueSegment fires when a transmission's serialization completes: the
+// segment's bytes leave the link queue.
+func dequeueSegment(a, _ any) {
+	l := a.(*Link)
+	l.queuedBytes -= l.pending[l.pendingHead]
+	l.pendingHead++
+	if l.pendingHead == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.pendingHead = 0
+	} else if l.pendingHead >= 1024 && l.pendingHead*2 >= len(l.pending) {
+		// A continuously-busy link never fully drains; compact the consumed
+		// prefix so the FIFO stays bounded by the in-queue segment count.
+		n := copy(l.pending, l.pending[l.pendingHead:])
+		l.pending = l.pending[:n]
+		l.pendingHead = 0
+	}
+}
+
+// deliverSegment completes a transmission: it is the ScheduleArgsAt callback
+// shared by all links.
+func deliverSegment(a, b any) {
+	l := a.(*Link)
+	seg := b.(*packet.Segment)
+	l.stats.DeliveredBytes += uint64(wireSize(seg))
+	l.dst.Receive(seg)
 }
 
 // BandwidthDelayProduct returns the link's BDP in bytes, a convenience for

@@ -136,6 +136,7 @@ func (p *Path) Down() bool { return p.down }
 // result to the destination interface.
 func (p *Path) arrive(dir Direction, seg *packet.Segment) {
 	if p.down {
+		seg.Release()
 		return
 	}
 	segs := p.runChain(dir, 0, seg)
@@ -195,6 +196,7 @@ func (c *boxCtx) Sim() *sim.Simulator { return c.path.sim }
 func (c *boxCtx) Inject(dir Direction, seg *packet.Segment) {
 	p := c.path
 	if p.down {
+		seg.Release()
 		return
 	}
 	// The injecting element sits at position index along its own direction;

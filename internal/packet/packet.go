@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"mptcpgo/internal/pool"
 )
 
 // SeqNum is a 32-bit TCP sequence number with wrap-around comparison
@@ -137,6 +139,12 @@ type Segment struct {
 	// Ordinal is a per-link monotonically increasing identifier assigned at
 	// enqueue time, useful for traces and deterministic tie-breaking.
 	Ordinal uint64
+
+	// ownsPayload marks Payload as a pool-owned buffer that Release will
+	// recycle (see AttachPayload / DetachPayload in pool.go).
+	ownsPayload bool
+	// released guards against double-release of pooled segments.
+	released bool
 }
 
 // Tuple returns the segment's four-tuple.
@@ -162,18 +170,30 @@ func (s *Segment) SeqLen() uint32 {
 func (s *Segment) EndSeq() SeqNum { return s.Seq.Add(s.SeqLen()) }
 
 // Clone returns a deep copy of the segment, including options and payload.
+// The copy is a pooled segment with a pool-owned payload buffer; releasing
+// it recycles both (clones that are retained forever simply never return to
+// the pool).
 func (s *Segment) Clone() *Segment {
-	c := *s
+	c := s.CloneHeader()
 	if len(s.Payload) > 0 {
-		c.Payload = append([]byte(nil), s.Payload...)
+		c.AttachPayload(pool.Copy(s.Payload))
 	}
-	if len(s.Options) > 0 {
-		c.Options = make([]Option, len(s.Options))
-		for i, o := range s.Options {
-			c.Options[i] = o.CloneOption()
-		}
+	return c
+}
+
+// CloneHeader returns a pooled copy of the segment with cloned options and
+// no payload. Middleboxes that resegment use it to duplicate headers without
+// copying payload bytes they are about to replace.
+func (s *Segment) CloneHeader() *Segment {
+	c := NewSegment()
+	c.Src, c.Dst = s.Src, s.Dst
+	c.Seq, c.Ack = s.Seq, s.Ack
+	c.Flags, c.Window = s.Flags, s.Window
+	c.SentAt, c.Ordinal = s.SentAt, s.Ordinal
+	for _, o := range s.Options {
+		c.Options = append(c.Options, o.CloneOption())
 	}
-	return &c
+	return c
 }
 
 // FindOption returns the first option with the given kind, or nil.

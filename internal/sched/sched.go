@@ -30,24 +30,58 @@ type Scheduler interface {
 	Pick(candidates []Candidate, size int) int
 }
 
-// usable filters candidates by usability and minimum space, preferring
-// non-backup subflows.
-func usable(candidates []Candidate, size int) []int {
-	var regular, backup []int
+// usable filters candidates by usability and minimum space into scratch
+// (reused between calls by stateful schedulers), preferring non-backup
+// subflows.
+func usable(scratch []int, candidates []Candidate, size int) []int {
+	regular := scratch[:0]
+	backups := 0
 	for i, c := range candidates {
 		if !c.Usable() || c.SendSpace() < size {
 			continue
 		}
 		if c.Backup() {
-			backup = append(backup, i)
+			backups++
 		} else {
 			regular = append(regular, i)
 		}
 	}
-	if len(regular) > 0 {
+	if len(regular) > 0 || backups == 0 {
 		return regular
 	}
+	backup := scratch[:0]
+	for i, c := range candidates {
+		if c.Usable() && c.SendSpace() >= size && c.Backup() {
+			backup = append(backup, i)
+		}
+	}
 	return backup
+}
+
+// pickByScore returns the index of the usable candidate with enough space
+// and the lowest score, preferring non-backup subflows; ties go to the
+// earliest index. It is allocation-free (callers pass non-capturing score
+// functions) — the scheduler runs once per transmitted chunk.
+func pickByScore(candidates []Candidate, size int, score func(Candidate) int64) int {
+	best, bestBackup := -1, -1
+	var bestS, bestBackupS int64
+	for i, c := range candidates {
+		if !c.Usable() || c.SendSpace() < size {
+			continue
+		}
+		s := score(c)
+		if c.Backup() {
+			if bestBackup == -1 || s < bestBackupS {
+				bestBackup, bestBackupS = i, s
+			}
+		} else if best == -1 || s < bestS {
+			best, bestS = i, s
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return bestBackup
 }
 
 // LowestRTT is the default scheduler: among subflows with congestion-window
@@ -59,21 +93,14 @@ func (LowestRTT) Name() string { return "lowest-rtt" }
 
 // Pick implements Scheduler.
 func (LowestRTT) Pick(candidates []Candidate, size int) int {
-	best := -1
-	var bestRTT time.Duration
-	for _, i := range usable(candidates, size) {
-		rtt := candidates[i].SRTT()
-		if best == -1 || rtt < bestRTT {
-			best, bestRTT = i, rtt
-		}
-	}
-	return best
+	return pickByScore(candidates, size, func(c Candidate) int64 { return int64(c.SRTT()) })
 }
 
 // RoundRobin rotates through usable subflows regardless of RTT; it is the
 // ablation baseline resembling per-packet link bonding.
 type RoundRobin struct {
-	next int
+	next    int
+	scratch []int
 }
 
 // Name implements Scheduler.
@@ -81,7 +108,8 @@ func (*RoundRobin) Name() string { return "round-robin" }
 
 // Pick implements Scheduler.
 func (r *RoundRobin) Pick(candidates []Candidate, size int) int {
-	ok := usable(candidates, size)
+	ok := usable(r.scratch, candidates, size)
+	r.scratch = ok[:0]
 	if len(ok) == 0 {
 		return -1
 	}
@@ -99,13 +127,7 @@ func (HighestSpace) Name() string { return "highest-space" }
 
 // Pick implements Scheduler.
 func (HighestSpace) Pick(candidates []Candidate, size int) int {
-	best, bestSpace := -1, -1
-	for _, i := range usable(candidates, size) {
-		if sp := candidates[i].SendSpace(); sp > bestSpace {
-			best, bestSpace = i, sp
-		}
-	}
-	return best
+	return pickByScore(candidates, size, func(c Candidate) int64 { return -int64(c.SendSpace()) })
 }
 
 // New constructs a scheduler by name ("lowest-rtt", "round-robin",

@@ -20,7 +20,7 @@ func (f fakeCandidate) Backup() bool        { return f.backup }
 func TestLowestRTTPicksFastestWithSpace(t *testing.T) {
 	s := LowestRTT{}
 	cands := []Candidate{
-		fakeCandidate{srtt: 10 * time.Millisecond, space: 0, usable: true},    // fast but full
+		fakeCandidate{srtt: 10 * time.Millisecond, space: 0, usable: true},     // fast but full
 		fakeCandidate{srtt: 200 * time.Millisecond, space: 5000, usable: true}, // slow
 		fakeCandidate{srtt: 50 * time.Millisecond, space: 5000, usable: true},  // should win
 	}

@@ -21,6 +21,11 @@ type Event struct {
 	At time.Duration
 	// Fn is invoked when the event fires. It must not block.
 	Fn func()
+	// fn2/a/b carry the argument-passing form (ScheduleArgsAt), which lets
+	// per-packet callers schedule a shared top-level function with pointer
+	// arguments instead of allocating a fresh closure per packet.
+	fn2  func(a, b any)
+	a, b any
 
 	seq      uint64 // tie-breaker for deterministic ordering
 	index    int    // heap index, -1 when not queued
@@ -69,6 +74,14 @@ type Simulator struct {
 	nextSeq uint64
 	rng     *RNG
 
+	// free recycles Event structs: the simulator allocates several events
+	// per emulated segment (transmission, delivery, timers), so reusing them
+	// removes the largest remaining per-segment allocation. The free list is
+	// plain (the simulator is single-threaded) and events return to it when
+	// they fire or are canceled — after either, callers must not retain the
+	// *Event (Timer clears its reference on both paths).
+	free []*Event
+
 	// Processed counts events executed so far, useful for run-away detection
 	// in tests.
 	Processed uint64
@@ -100,7 +113,8 @@ func (s *Simulator) Schedule(d time.Duration, fn func()) *Event {
 }
 
 // ScheduleAt schedules fn at absolute time at. Times in the past are clamped
-// to the current time.
+// to the current time. The returned event is only valid until it fires or is
+// canceled; retain a Timer, not an Event, for anything longer-lived.
 func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
@@ -108,7 +122,38 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &Event{At: at, Fn: fn, seq: s.nextSeq}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		*ev = Event{At: at, Fn: fn, seq: s.nextSeq}
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: s.nextSeq}
+	}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// ScheduleArgsAt schedules fn(a, b) at absolute time at. Unlike ScheduleAt,
+// the callback receives its context as arguments, so hot paths can pass a
+// shared top-level function plus two pointers and avoid allocating a closure
+// per call (pointers stored in an interface do not allocate).
+func (s *Simulator) ScheduleArgsAt(at time.Duration, fn func(a, b any), a, b any) *Event {
+	if fn == nil {
+		panic("sim: ScheduleArgsAt with nil fn")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		*ev = Event{At: at, fn2: fn, a: a, b: b, seq: s.nextSeq}
+	} else {
+		ev = &Event{At: at, fn2: fn, a: a, b: b, seq: s.nextSeq}
+	}
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
 	return ev
@@ -126,6 +171,8 @@ func (s *Simulator) Cancel(ev *Event) {
 	ev.canceled = true
 	heap.Remove(&s.queue, ev.index)
 	ev.index = -1
+	ev.Fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
+	s.free = append(s.free, ev)
 }
 
 // Pending returns the number of queued events.
@@ -139,8 +186,15 @@ func (s *Simulator) step() bool {
 	ev := heap.Pop(&s.queue).(*Event)
 	s.now = ev.At
 	s.Processed++
-	if !ev.canceled {
-		ev.Fn()
+	fn, fn2, a, b := ev.Fn, ev.fn2, ev.a, ev.b
+	ev.Fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
+	ev.canceled = true // fired events behave as canceled for late Cancel calls
+	s.free = append(s.free, ev)
+	switch {
+	case fn != nil:
+		fn()
+	case fn2 != nil:
+		fn2(a, b)
 	}
 	return true
 }
@@ -182,6 +236,9 @@ type Timer struct {
 	sim *Simulator
 	ev  *Event
 	fn  func()
+	// fireFn caches the t.fire method value so Reset does not allocate a
+	// fresh closure on every (re)arm — timers re-arm once per ACK.
+	fireFn func()
 }
 
 // NewTimer creates a stopped timer that invokes fn when it expires.
@@ -189,14 +246,16 @@ func (s *Simulator) NewTimer(fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil fn")
 	}
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire after d. Any previously pending expiry is
 // canceled.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.sim.Schedule(d, t.fire)
+	t.ev = t.sim.Schedule(d, t.fireFn)
 }
 
 // ResetIfStopped arms the timer only if it is not already pending.

@@ -14,9 +14,9 @@ import (
 
 // Endpoint errors.
 var (
-	ErrClosed        = errors.New("tcp: endpoint closed")
-	ErrReset         = errors.New("tcp: connection reset by peer")
-	ErrTimeout       = errors.New("tcp: user timeout exceeded")
+	ErrClosed         = errors.New("tcp: endpoint closed")
+	ErrReset          = errors.New("tcp: connection reset by peer")
+	ErrTimeout        = errors.New("tcp: user timeout exceeded")
 	ErrNotEstablished = errors.New("tcp: connection not established")
 )
 
@@ -36,17 +36,22 @@ type Endpoint struct {
 	ctrl cc.Controller
 
 	// ---- send state ----
-	iss       packet.SeqNum
-	sndUna    packet.SeqNum
-	sndNxt    packet.SeqNum
-	sndWnd    int // peer advertised window in bytes (already scaled)
+	iss          packet.SeqNum
+	sndUna       packet.SeqNum
+	sndNxt       packet.SeqNum
+	sndWnd       int // peer advertised window in bytes (already scaled)
 	peerWndShift uint8
-	peerMSS   int
+	peerMSS      int
 
-	sendQueue []*chunk // not yet transmitted
-	retransQ  []*chunk // transmitted, not fully acknowledged
-	queuedBytes int    // payload bytes across both queues
-	queuedPayloadTotal uint64 // cumulative payload bytes ever queued
+	sendQueue          []*chunk // not yet transmitted
+	retransQ           []*chunk // transmitted, not fully acknowledged
+	queuedBytes        int      // payload bytes across both queues
+	queuedPayloadTotal uint64   // cumulative payload bytes ever queued
+
+	// sndBuf holds the queued payload bytes exactly once; chunks reference
+	// ranges of it (see chunk in tcp.go). Its head is trimmed as the
+	// cumulative acknowledgement advances.
+	sndBuf *buffer.ByteQueue
 
 	dupAcks       int
 	inRecovery    bool
@@ -57,35 +62,35 @@ type Endpoint struct {
 	peerTSOK      bool
 	tsRecent      uint32 // peer's most recent timestamp value (to echo)
 
-	rtoTimer     *sim.Timer
-	persistTimer *sim.Timer
-	srtt         time.Duration
-	rttvar       time.Duration
-	baseRTT      time.Duration
-	rto          time.Duration
-	rtoBackoff   int
+	rtoTimer          *sim.Timer
+	persistTimer      *sim.Timer
+	srtt              time.Duration
+	rttvar            time.Duration
+	baseRTT           time.Duration
+	rto               time.Duration
+	rtoBackoff        int
 	firstUnackedSince time.Duration
 
 	finQueued bool
 
 	// ---- receive state ----
-	irs          packet.SeqNum
-	rcvNxt       packet.SeqNum
-	rcvWndShift  uint8
-	sackRanges   []packet.SACKBlock
-	rcvBufMax    int
-	rcvBufActual int
-	recvQueue    *buffer.ByteQueue // in-order data awaiting application Read
-	recvOfo      buffer.OfoQueue   // out-of-order subflow segments
-	finReceived  bool
+	irs               packet.SeqNum
+	rcvNxt            packet.SeqNum
+	rcvWndShift       uint8
+	sackRanges        []packet.SACKBlock
+	rcvBufMax         int
+	rcvBufActual      int
+	recvQueue         *buffer.ByteQueue // in-order data awaiting application Read
+	recvOfo           buffer.OfoQueue   // out-of-order subflow segments
+	finReceived       bool
 	lastAdvertisedWnd int
-	delackTimer  *sim.Timer
-	delackPending int
+	delackTimer       *sim.Timer
+	delackPending     int
 
 	timeWaitTimer *sim.Timer
 
 	// autotuning bookkeeping
-	rttDataCount int
+	rttDataCount   int
 	rttWindowStart time.Duration
 
 	stats Stats
@@ -124,6 +129,7 @@ func newEndpoint(iface *netem.Interface, local, remote packet.Endpoint, cfg Conf
 		rcvBufMax: cfg.RecvBufBytes,
 		rto:       cfg.InitialRTO,
 		recvOfo:   buffer.NewOfoQueue(buffer.AlgRegular),
+		sndBuf:    buffer.NewByteQueue(0),
 		sndWnd:    cfg.MSS, // until the peer advertises
 	}
 	e.rcvBufActual = e.rcvBufMax
@@ -395,12 +401,15 @@ func (e *Endpoint) Write(data []byte) int {
 		data = data[:space]
 	}
 	mss := e.EffectiveMSS()
-	accepted := 0
-	for len(data) > 0 {
-		n := minInt(mss, len(data))
-		e.enqueueChunk(&chunk{payload: append([]byte(nil), data[:n]...)})
-		data = data[n:]
-		accepted += n
+	accepted := len(data)
+	// One copy into the send queue; chunks reference MSS-sized ranges of it.
+	off := e.sndBuf.TailOffset()
+	e.sndBuf.Append(data)
+	for n := accepted; n > 0; {
+		l := minInt(mss, n)
+		e.enqueueChunk(&chunk{payOff: off, payLen: l})
+		off += uint64(l)
+		n -= l
 	}
 	e.output()
 	return accepted
@@ -416,7 +425,9 @@ func (e *Endpoint) SendChunk(payload []byte, opts []packet.Option) bool {
 	if len(payload) > e.SendBufferSpace() && len(e.sendQueue)+len(e.retransQ) > 0 {
 		return false
 	}
-	e.enqueueChunk(&chunk{payload: append([]byte(nil), payload...), opts: opts})
+	off := e.sndBuf.TailOffset()
+	e.sndBuf.Append(payload)
+	e.enqueueChunk(&chunk{payOff: off, payLen: len(payload), opts: opts})
 	e.output()
 	return true
 }
@@ -452,7 +463,7 @@ func (e *Endpoint) Close() {
 		return
 	}
 	e.finQueued = true
-	e.enqueueChunk(&chunk{fin: true})
+	e.enqueueChunk(&chunk{fin: true, payOff: e.sndBuf.TailOffset()})
 	e.output()
 }
 
@@ -506,8 +517,8 @@ func (e *Endpoint) setState(s State) {
 
 func (e *Endpoint) enqueueChunk(c *chunk) {
 	e.sendQueue = append(e.sendQueue, c)
-	e.queuedBytes += len(c.payload)
-	e.queuedPayloadTotal += uint64(len(c.payload))
+	e.queuedBytes += c.payLen
+	e.queuedPayloadTotal += uint64(c.payLen)
 }
 
 // teardown releases host resources and reports the terminal error.

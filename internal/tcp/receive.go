@@ -6,6 +6,7 @@ import (
 	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
 )
 
 // HandleSegment implements netem.SegmentHandler; every segment addressed to
@@ -167,12 +168,15 @@ func (e *Endpoint) processPayload(seg *packet.Segment) {
 			e.deliver(segSeq, payload)
 			e.rcvNxt = e.rcvNxt.Add(uint32(len(payload)))
 		}
-		// Drain anything now contiguous from the out-of-order queue.
+		// Drain anything now contiguous from the out-of-order queue; each
+		// item's pool-owned buffer is recycled once its bytes have been
+		// copied into the downstream queues.
 		rel := uint64(uint32(e.rcvNxt.DiffFrom(e.irs.Add(1))))
 		for _, it := range e.recvOfo.PopContiguous(rel) {
 			e.deliver(e.rcvNxt, it.Data)
 			e.rcvNxt = e.rcvNxt.Add(uint32(len(it.Data)))
 			rel = it.End()
+			pool.Recycle(it.Data)
 		}
 		e.pruneSackRanges()
 		if hasFin {
@@ -196,7 +200,9 @@ func (e *Endpoint) processPayload(seg *packet.Segment) {
 	// because both Seq and ISN are rewritten together).
 	if len(payload) > 0 {
 		rel := uint64(uint32(segSeq.DiffFrom(e.irs.Add(1))))
-		e.recvOfo.Insert(buffer.Item{Seq: rel, Data: append([]byte(nil), payload...)})
+		// Insert copies the payload into a pool-owned buffer; the segment
+		// keeps ownership of the slice passed in.
+		e.recvOfo.Insert(buffer.Item{Seq: rel, Data: payload})
 		e.recordSackRange(segSeq, segSeq.Add(uint32(len(payload))))
 	}
 	// Immediate duplicate ACK to trigger the peer's fast retransmit.

@@ -4,18 +4,18 @@ import (
 	"time"
 
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/pool"
 )
 
 // makeSegment builds an outgoing segment with the current acknowledgement and
 // advertised window.
 func (e *Endpoint) makeSegment(flags packet.Flags, seq packet.SeqNum, payload []byte, opts []packet.Option) *packet.Segment {
-	seg := &packet.Segment{
-		Src:     e.local,
-		Dst:     e.remote,
-		Seq:     seq,
-		Flags:   flags,
-		Payload: payload,
-	}
+	seg := packet.NewSegment()
+	seg.Src = e.local
+	seg.Dst = e.remote
+	seg.Seq = seq
+	seg.Flags = flags
+	seg.Payload = payload
 	if len(opts) > 0 {
 		seg.Options = append(seg.Options, opts...)
 	}
@@ -113,22 +113,29 @@ func (e *Endpoint) processSYNOptions(seg *packet.Segment) {
 	}
 }
 
-// transmitChunk emits one chunk (first transmission or retransmission).
+// transmitChunk emits one chunk (first transmission or retransmission). The
+// segment payload is copied out of the send queue into a pool-owned buffer —
+// the one copy the "payload never shared" invariant requires, recycled when
+// the segment reaches its sink.
 func (e *Endpoint) transmitChunk(c *chunk, retransmission bool) {
 	flags := packet.Flags(0)
-	var opts []packet.Option
+	opts := c.opts
 	if c.syn {
 		flags |= packet.FlagSYN
-		opts = append(opts, e.synOptions()...)
+		opts = append(e.synOptions(), c.opts...)
 	}
 	if c.fin {
 		flags |= packet.FlagFIN
 	}
-	if len(c.payload) > 0 {
+	if c.payLen > 0 {
 		flags |= packet.FlagPSH
 	}
-	opts = append(opts, c.opts...)
-	seg := e.makeSegment(flags, c.seq, append([]byte(nil), c.payload...), opts)
+	seg := e.makeSegment(flags, c.seq, nil, opts)
+	if c.payLen > 0 {
+		buf := pool.Bytes(c.payLen)
+		copy(buf, e.sndBuf.Peek(c.payOff, c.payLen))
+		seg.AttachPayload(buf)
+	}
 	c.sentAt = e.sim.Now()
 	c.transmissions++
 	if retransmission {
@@ -172,18 +179,18 @@ func (e *Endpoint) output() {
 	for len(e.sendQueue) > 0 {
 		c := e.sendQueue[0]
 		allowance := e.SendSpace()
-		if len(c.payload) > 0 && allowance < len(c.payload) && e.BytesInFlight() > 0 {
+		if c.payLen > 0 && allowance < c.payLen && e.BytesInFlight() > 0 {
 			// Not enough room for the whole chunk; wait for ACKs (sending
 			// partial chunks would complicate MPTCP mappings for no gain).
 			break
 		}
-		if len(c.payload) > 0 && allowance <= 0 {
+		if c.payLen > 0 && allowance <= 0 {
 			break
 		}
 		// Zero-window deadlock protection for plain TCP: if nothing is in
 		// flight and the peer window is closed, the persist timer takes over.
-		if !e.cfg.ConnectionLevelWindow && len(c.payload) > 0 &&
-			e.sndWnd-e.BytesInFlight() < len(c.payload) && e.BytesInFlight() == 0 {
+		if !e.cfg.ConnectionLevelWindow && c.payLen > 0 &&
+			e.sndWnd-e.BytesInFlight() < c.payLen && e.BytesInFlight() == 0 {
 			e.armPersist()
 			break
 		}
@@ -298,19 +305,22 @@ func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
 					rttSample = 0
 				}
 			}
-			e.queuedBytes -= len(c.payload)
+			e.queuedBytes -= c.payLen
+			e.sndBuf.TrimTo(c.payOff + uint64(c.payLen))
 			e.retransQ = e.retransQ[1:]
 			continue
 		}
 		// Partial chunk acknowledgement (middleboxes may resegment): trim.
 		if c.seq.LessThan(ack) {
 			trim := int(ack.DiffFrom(c.seq))
-			if trim > len(c.payload) {
-				trim = len(c.payload)
+			if trim > c.payLen {
+				trim = c.payLen
 			}
-			c.payload = c.payload[trim:]
+			c.payOff += uint64(trim)
+			c.payLen -= trim
 			c.seq = ack
 			e.queuedBytes -= trim
+			e.sndBuf.TrimTo(c.payOff)
 		}
 		break
 	}
@@ -475,16 +485,14 @@ func (e *Endpoint) onPersist() {
 	}
 	e.stats.PersistProbes++
 	c := e.sendQueue[0]
-	if len(c.payload) > 1 {
+	if c.payLen > 1 {
 		// Split off a one-byte probe chunk that carries the same options so
 		// any attached MPTCP mapping still covers its byte range.
-		probe := &chunk{payload: append([]byte(nil), c.payload[:1]...), opts: c.opts}
-		c.payload = c.payload[1:]
-		rest := append([]*chunk{probe}, e.sendQueue...)
-		e.sendQueue = rest
+		probe := &chunk{payOff: c.payOff, payLen: 1, opts: c.opts}
+		c.payOff++
+		c.payLen--
 		probe.seq = e.sndNxt
 		e.sndNxt = e.sndNxt.Add(1)
-		e.sendQueue = e.sendQueue[1:]
 		e.retransQ = append(e.retransQ, probe)
 		e.transmitChunk(probe, false)
 	} else {

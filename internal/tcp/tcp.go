@@ -138,7 +138,7 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.WindowScale == 0 {
 		shift := 0
-		for (65535 << shift) < c.RecvBufBytes && shift < 14 {
+		for (65535<<shift) < c.RecvBufBytes && shift < 14 {
 			shift++
 		}
 		c.WindowScale = shift
@@ -216,12 +216,19 @@ func (NopHooks) AdvertiseWindow(*Endpoint) (int, bool) { return 0, false }
 // that must accompany it on the wire (for MPTCP, its data sequence mapping).
 // SYN and FIN are represented as flag-only chunks so that the retransmission
 // machinery handles them uniformly.
+//
+// A chunk does not hold payload bytes itself: it references the half-open
+// range [payOff, payOff+payLen) of the endpoint's send ByteQueue (sndBuf).
+// The bytes live exactly once on the sender — retransmissions copy them out
+// of the queue into a fresh pool-owned segment payload, instead of the old
+// scheme of one deep copy per chunk plus one per (re)transmission.
 type chunk struct {
-	seq     packet.SeqNum
-	payload []byte
-	opts    []packet.Option
-	syn     bool
-	fin     bool
+	seq    packet.SeqNum
+	payOff uint64 // absolute sndBuf offset of the chunk's first payload byte
+	payLen int    // payload length in bytes
+	opts   []packet.Option
+	syn    bool
+	fin    bool
 
 	sentAt        time.Duration
 	transmissions int
@@ -236,7 +243,7 @@ type chunk struct {
 
 // seqLen returns the amount of sequence space the chunk occupies.
 func (c *chunk) seqLen() uint32 {
-	n := uint32(len(c.payload))
+	n := uint32(c.payLen)
 	if c.syn {
 		n++
 	}
