@@ -22,7 +22,15 @@ func main() {
 	flag.Parse()
 
 	if *sweep {
-		if err := experiments.RunAndPrint(os.Stdout, "fig11", experiments.Options{Quick: *quick, Seed: *seed}); err != nil {
+		opts := []experiments.Option{experiments.WithSeed(*seed)}
+		if *quick {
+			opts = append(opts, experiments.WithQuick())
+		}
+		res, err := experiments.Run("fig11", opts...)
+		if err == nil {
+			err = res.Text(os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

@@ -17,7 +17,14 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base RNG seed")
 	flag.Parse()
 
-	err := experiments.RunAndPrint(os.Stdout, "mbox", experiments.Options{Quick: *quick, Seed: *seed})
+	opts := []experiments.Option{experiments.WithSeed(*seed)}
+	if *quick {
+		opts = append(opts, experiments.WithQuick())
+	}
+	res, err := experiments.Run("mbox", opts...)
+	if err == nil {
+		err = res.Text(os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

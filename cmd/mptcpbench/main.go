@@ -5,10 +5,12 @@
 //	mptcpbench -list
 //	mptcpbench -run fig4
 //	mptcpbench -run all -quick
+//	mptcpbench -run fig3 -quick -format json -out BENCH_fig3.json
 //
-// Each experiment prints the same rows/series the corresponding figure in the
-// paper reports; EXPERIMENTS.md records a captured run next to the paper's
-// numbers.
+// Each experiment produces the same rows/series the corresponding figure in
+// the paper reports, as aligned text (default), JSON or CSV; EXPERIMENTS.md
+// records a captured run next to the paper's numbers, and CI archives the
+// quick-run JSON as BENCH_*.json trajectory points.
 package main
 
 import (
@@ -24,8 +26,17 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
 	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
-	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed)")
+	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed; 0 is a legal seed)")
+	format := flag.String("format", "text", "output format: text | json | csv")
+	out := flag.String("out", "", "write output to this file instead of stdout")
+	paperEra := flag.Bool("paper-era-cpu", false, "use the 2012-class host CPU cost model instead of calibrating on this machine")
 	flag.Parse()
+
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fail(fmt.Errorf("unknown output format %q (want text, json or csv)", *format))
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -39,15 +50,42 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
-	var err error
+	opts := []experiments.Option{experiments.WithSeed(*seed)}
+	if *quick {
+		opts = append(opts, experiments.WithQuick())
+	}
+	if *paperEra {
+		opts = append(opts, experiments.WithPaperEraCPU())
+	}
+
+	ids := []string{*run}
 	if strings.EqualFold(*run, "all") {
-		err = experiments.RunAll(os.Stdout, opt)
-	} else {
-		err = experiments.RunAndPrint(os.Stdout, *run, opt)
+		ids = experiments.IDs()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	results := make([]*experiments.Result, 0, len(ids))
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts...)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, res)
 	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.WriteResults(w, *format, results); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

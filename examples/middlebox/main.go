@@ -3,7 +3,8 @@
 // firewalls, resegmenting NICs and payload-modifying ALGs either keep their
 // multipath operation, fall back to regular TCP, or reset the affected
 // subflow — but the application's byte stream is delivered correctly in
-// every case.
+// every case. Middlebox chains are attached per link directly in the
+// topology builder.
 package main
 
 import (
@@ -13,14 +14,16 @@ import (
 
 	mptcp "mptcpgo"
 	"mptcpgo/internal/middlebox"
-	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
 )
 
-func run(name string, install func(n *netem.Network)) {
-	sim := mptcp.NewSimulation(11, mptcp.WiFiPath(), mptcp.ThreeGPath())
-	if install != nil {
-		install(sim.Internal())
+func run(name string, wifiBoxes, threeGBoxes []mptcp.Box) {
+	net, err := mptcp.NewTopology(11).
+		Connect("client", "server", mptcp.WiFiLink(), wifiBoxes...).
+		Connect("client", "server", mptcp.ThreeGLink(), threeGBoxes...).
+		Build()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := mptcp.DefaultConfig()
@@ -29,7 +32,7 @@ func run(name string, install func(n *netem.Network)) {
 
 	const total = 2 << 20
 	received := 0
-	_, err := sim.Listen(80, cfg, func(c *mptcp.Conn) {
+	_, err = net.Listen("server", 80, cfg, func(c *mptcp.Conn) {
 		c.OnReadable = func() {
 			for {
 				data := c.Read(64 << 10)
@@ -46,7 +49,7 @@ func run(name string, install func(n *netem.Network)) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	conn, err := sim.Dial(0, 80, cfg)
+	conn, err := net.Dial("client", "server:80", mptcp.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func run(name string, install func(n *netem.Network)) {
 	conn.OnEstablished = pump
 	conn.OnWritable = pump
 
-	if err := sim.Run(60 * time.Second); err != nil {
+	if err := net.Run(60 * time.Second); err != nil {
 		log.Fatal(err)
 	}
 	status := "delivered"
@@ -82,21 +85,16 @@ func run(name string, install func(n *netem.Network)) {
 func main() {
 	fmt.Println("2 MB transfer over WiFi + 3G through various middleboxes:")
 
-	run("clean paths", nil)
-	run("NAT on the WiFi path", func(n *netem.Network) {
-		n.Path(0).AddBox(middlebox.NewNAT(packet.MakeAddr(100, 64, 9, 1), true))
-	})
-	run("sequence-number rewriting firewall", func(n *netem.Network) {
-		n.Path(0).AddBox(middlebox.NewSeqRewriter(0))
-	})
-	run("firewall strips MPTCP from SYNs", func(n *netem.Network) {
-		n.Path(0).AddBox(middlebox.NewOptionStripper(true))
-		n.Path(1).AddBox(middlebox.NewOptionStripper(true))
-	})
-	run("TSO-style resegmentation (536B)", func(n *netem.Network) {
-		n.Path(0).AddBox(middlebox.NewSplitter(536))
-	})
-	run("payload-modifying ALG", func(n *netem.Network) {
-		n.Path(0).AddBox(middlebox.NewPayloadCorrupter(300))
-	})
+	run("clean paths", nil, nil)
+	run("NAT on the WiFi path",
+		[]mptcp.Box{middlebox.NewNAT(packet.MakeAddr(100, 64, 9, 1), true)}, nil)
+	run("sequence-number rewriting firewall",
+		[]mptcp.Box{middlebox.NewSeqRewriter(0)}, nil)
+	run("firewall strips MPTCP from SYNs",
+		[]mptcp.Box{middlebox.NewOptionStripper(true)},
+		[]mptcp.Box{middlebox.NewOptionStripper(true)})
+	run("TSO-style resegmentation (536B)",
+		[]mptcp.Box{middlebox.NewSplitter(536)}, nil)
+	run("payload-modifying ALG",
+		[]mptcp.Box{middlebox.NewPayloadCorrupter(300)}, nil)
 }

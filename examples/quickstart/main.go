@@ -1,6 +1,7 @@
-// Quickstart: open an MPTCP connection over an emulated WiFi + 3G phone,
-// transfer one megabyte and print what happened — which paths were used,
-// whether multipath was negotiated, and the achieved goodput.
+// Quickstart: build an emulated WiFi + 3G phone with the topology builder,
+// open an MPTCP connection as an ordinary io.ReadWriteCloser, transfer one
+// megabyte and print what happened — which paths were used, whether
+// multipath was negotiated, and the achieved goodput.
 package main
 
 import (
@@ -14,14 +15,20 @@ import (
 func main() {
 	// A phone with a WiFi interface (8 Mbps) and a 3G interface (2 Mbps),
 	// talking to a dual-homed server.
-	sim := mptcp.NewSimulation(1, mptcp.WiFiPath(), mptcp.ThreeGPath())
+	net, err := mptcp.NewTopology(1).
+		Connect("phone", "server", mptcp.WiFiLink()).
+		Connect("phone", "server", mptcp.ThreeGLink()).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const total = 1 << 20
 
 	// Server: read everything, close when the peer is done.
 	received := 0
 	var done time.Duration
-	_, err := sim.Listen(80, mptcp.DefaultConfig(), func(c *mptcp.Conn) {
+	_, err = net.Listen("server", 80, mptcp.DefaultConfig(), func(c *mptcp.Conn) {
 		c.OnReadable = func() {
 			for {
 				data := c.Read(64 << 10)
@@ -31,7 +38,7 @@ func main() {
 				received += len(data)
 			}
 			if received >= total && done == 0 {
-				done = sim.Now()
+				done = net.Now()
 			}
 			if c.EOF() {
 				c.Close()
@@ -42,34 +49,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Client: an unmodified "application" writing a byte stream.
-	conn, err := sim.Dial(0, 80, mptcp.DefaultConfig())
+	// Client: an unmodified "application" writing to a standard byte
+	// stream. Stream drives the deterministic simulation under the hood, so
+	// plain blocking-style code works unchanged.
+	stream, err := net.DialStream("phone", "server:80")
 	if err != nil {
 		log.Fatal(err)
 	}
 	payload := make([]byte, 32<<10)
-	sent := 0
-	pump := func() {
-		for sent < total {
-			n := len(payload)
-			if total-sent < n {
-				n = total - sent
-			}
-			w := conn.Write(payload[:n])
-			if w == 0 {
-				return
-			}
-			sent += w
+	for sent := 0; sent < total; sent += len(payload) {
+		if _, err := stream.Write(payload); err != nil {
+			log.Fatal(err)
 		}
-		conn.Close()
 	}
-	conn.OnEstablished = pump
-	conn.OnWritable = pump
-
-	if err := sim.Run(30 * time.Second); err != nil {
+	if err := stream.Close(); err != nil {
 		log.Fatal(err)
 	}
 
+	// Let the close handshake finish.
+	if err := net.Run(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	conn := stream.Conn()
 	fmt.Println("quickstart: 1 MB transfer over WiFi + 3G")
 	fmt.Printf("  multipath negotiated: %v\n", conn.MPTCPActive())
 	fmt.Printf("  subflows opened:      %d\n", conn.Stats().SubflowsOpened)

@@ -19,10 +19,16 @@ func run(name string, cfg mptcp.Config, iface int, bufKB int, failWiFi bool) {
 	cfg.SendBufBytes = bufKB << 10
 	cfg.RecvBufBytes = bufKB << 10
 
-	sim := mptcp.NewSimulation(7, mptcp.WiFiPath(), mptcp.ThreeGPath())
+	net, err := mptcp.NewTopology(7).
+		Connect("phone", "server", mptcp.WiFiLink()).
+		Connect("phone", "server", mptcp.ThreeGLink()).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	received := 0
-	_, err := sim.Listen(80, cfg, func(c *mptcp.Conn) {
+	_, err = net.Listen("server", 80, cfg, func(c *mptcp.Conn) {
 		c.OnReadable = func() {
 			for {
 				data := c.Read(64 << 10)
@@ -36,7 +42,7 @@ func run(name string, cfg mptcp.Config, iface int, bufKB int, failWiFi bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	conn, err := sim.Dial(iface, 80, cfg)
+	conn, err := net.Dial("phone", "server:80", mptcp.WithConfig(cfg), mptcp.WithInterface(iface))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,16 +55,16 @@ func run(name string, cfg mptcp.Config, iface int, bufKB int, failWiFi bool) {
 	conn.OnWritable = pump
 
 	if failWiFi {
-		sim.Schedule(10*time.Second, func() { _ = sim.SetPathDown(0, true) })
+		net.Schedule(10*time.Second, func() { _ = net.SetLinkDown("wifi", true) })
 	}
 
 	const warmup = 5 * time.Second
 	const duration = 25 * time.Second
-	if err := sim.RunUntil(warmup); err != nil {
+	if err := net.RunUntil(warmup); err != nil {
 		log.Fatal(err)
 	}
 	start := received
-	if err := sim.RunUntil(duration); err != nil {
+	if err := net.RunUntil(duration); err != nil {
 		log.Fatal(err)
 	}
 	rate := float64(received-start) * 8 / (duration - warmup).Seconds() / 1e6

@@ -309,19 +309,34 @@ func (c *Connection) receiveBufferUsed() int {
 
 // Read removes and returns up to max bytes of in-order connection-level data.
 func (c *Connection) Read(max int) []byte {
-	if c.rcvBuf.Len() == 0 {
+	n := minInt(max, c.rcvBuf.Len())
+	if n <= 0 {
 		return nil
 	}
+	out := make([]byte, n)
+	c.ReadInto(out)
+	return out
+}
+
+// ReadInto copies up to len(p) bytes of in-order connection-level data into
+// p, consuming them, and returns the number of bytes copied. Unlike Read it
+// does not allocate (mptcpgo.Stream reads through it).
+func (c *Connection) ReadInto(p []byte) int {
+	if len(p) == 0 || c.rcvBuf.Len() == 0 {
+		return 0
+	}
 	before := c.receiveWindowWouldBe()
-	data := c.rcvBuf.Pop(max)
-	c.stats.BytesDelivered += uint64(len(data))
+	head := c.rcvBuf.HeadOffset()
+	n := copy(p, c.rcvBuf.Peek(head, len(p)))
+	c.rcvBuf.TrimTo(head + uint64(n))
+	c.stats.BytesDelivered += uint64(n)
 	// Window update: if reading freed a meaningful amount of the shared
 	// buffer, tell the peer so a stalled sender can resume.
 	after := c.receiveWindowWouldBe()
 	if (before < c.mssEstimate() && after >= c.mssEstimate()) || after-before >= c.cfg.RecvBufBytes/4 {
 		c.sendWindowUpdate()
 	}
-	return data
+	return n
 }
 
 func (c *Connection) receiveWindowWouldBe() int {
@@ -338,6 +353,10 @@ func (c *Connection) ReadableBytes() int { return c.rcvBuf.Len() }
 // EOF reports whether the peer has signalled the end of the data stream
 // (DATA_FIN) and all data has been read.
 func (c *Connection) EOF() bool { return c.eofConsumed && c.rcvBuf.Len() == 0 }
+
+// WriteClosed reports whether the sending direction has been closed (Close
+// was called and a DATA_FIN is queued or sent); further Writes return 0.
+func (c *Connection) WriteClosed() bool { return c.dataFinQueued }
 
 // Close closes the sending direction: a DATA_FIN is sent once all written
 // data has been mapped to subflows (§3.4).
@@ -481,6 +500,12 @@ func (c *Connection) openAdditionalSubflows() {
 		if !ifc.Attached() {
 			continue
 		}
+		// In multi-host topologies an interface may face a different peer
+		// entirely (another client, a different server); only interfaces
+		// whose path terminates at the connection's peer can carry subflows.
+		if !c.ifaceReachesPeer(ifc, remotes) {
+			continue
+		}
 		have := c.subflowCountOnInterface(ifc)
 		// Prefer the remote address with the same "index" as this interface
 		// (pairwise paths); fall back to the dialed address.
@@ -500,6 +525,28 @@ func (c *Connection) openAdditionalSubflows() {
 		}
 		idx++
 	}
+}
+
+// ifaceReachesPeer reports whether the interface's path terminates at a host
+// owning one of the connection's candidate remote addresses. Two-host
+// topologies always pass (every client interface faces the server), so the
+// historical pairing heuristic above is unchanged there.
+func (c *Connection) ifaceReachesPeer(ifc *netem.Interface, remotes []packet.Endpoint) bool {
+	p := ifc.Path()
+	if p == nil {
+		return false
+	}
+	far := p.Peer(ifc)
+	if far == nil {
+		return false
+	}
+	farHost := far.Host()
+	for _, r := range remotes {
+		if farHost.InterfaceByAddr(r.Addr) != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // subflowCountOnInterface counts subflows bound to the interface.

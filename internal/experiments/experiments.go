@@ -1,18 +1,23 @@
 // Package experiments contains one harness per table/figure in the paper's
 // evaluation. Each experiment builds its topology, runs the workload on the
-// discrete-event simulator and returns the rows/series the paper reports, so
-// `mptcpbench -run figN` (or the corresponding Benchmark in bench_test.go)
-// regenerates the figure's data.
+// discrete-event simulator and returns a structured Result (tables, numeric
+// series and run metadata), so `mptcpbench -run figN` (or the corresponding
+// Benchmark in bench_test.go) regenerates the figure's data in text, JSON or
+// CSV form.
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Options controls how an experiment is run.
+// Options controls how an experiment is run. Construct it with NewOptions
+// and the With* functional options; the zero value (plus withDefaults) keeps
+// the historical behaviour of a full sweep at seed 42.
 type Options struct {
 	// Quick shrinks transfer durations and sweep densities so the experiment
 	// finishes in a few seconds (used by `go test -bench` and CI); the full
@@ -21,10 +26,46 @@ type Options struct {
 	// Seed is the base RNG seed; every run derives its own deterministic
 	// seed from it.
 	Seed uint64
+	// PaperEraCPU replaces this machine's measured per-byte checksum cost
+	// with a fixed 2012-class figure in the experiments that model host CPU
+	// (Figure 3), so the emulated curves keep the paper's shape on modern
+	// hardware.
+	PaperEraCPU bool
+
+	// seedSet records that Seed was supplied explicitly (WithSeed), making
+	// seed 0 a legal seed instead of an alias for the default.
+	seedSet bool
+}
+
+// Option mutates Options; see WithQuick, WithSeed and WithPaperEraCPU.
+type Option func(*Options)
+
+// WithQuick selects the reduced sweep.
+func WithQuick() Option { return func(o *Options) { o.Quick = true } }
+
+// WithSeed sets the base RNG seed. Any value — including 0 — is used as
+// given; the default seed (42) applies only when WithSeed is absent.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) {
+		o.Seed = seed
+		o.seedSet = true
+	}
+}
+
+// WithPaperEraCPU selects the 2012-class host CPU cost model.
+func WithPaperEraCPU() Option { return func(o *Options) { o.PaperEraCPU = true } }
+
+// NewOptions applies the functional options to a zero Options value.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
 }
 
 func (o Options) withDefaults() Options {
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.seedSet {
 		o.Seed = 42
 	}
 	return o
@@ -32,10 +73,10 @@ func (o Options) withDefaults() Options {
 
 // Table is one table or figure series produced by an experiment.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -88,14 +129,28 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// MarshalJSON keeps an empty row set encoded as [] rather than null.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	type alias Table
+	a := alias(*t)
+	if a.Rows == nil {
+		a.Rows = [][]string{}
+	}
+	if a.Columns == nil {
+		a.Columns = []string{}
+	}
+	return json.Marshal(a)
+}
+
 // Experiment is a registered, runnable experiment.
 type Experiment struct {
 	// ID is the short identifier used on the command line (e.g. "fig4").
 	ID string
 	// Title describes what the experiment reproduces.
 	Title string
-	// Run executes the experiment and returns its tables.
-	Run func(opt Options) ([]*Table, error)
+	// Run executes the experiment and returns its result; the registry
+	// fills in the identification and metadata fields afterwards.
+	Run func(opt Options) (*Result, error)
 }
 
 var registry = map[string]Experiment{}
@@ -121,6 +176,32 @@ func IDs() []string {
 	return ids
 }
 
+// Run executes one experiment by id and returns its structured result.
+func Run(id string, opts ...Option) (*Result, error) {
+	return RunWithOptions(id, NewOptions(opts...))
+}
+
+// RunWithOptions is Run for callers that already hold an Options value.
+func RunWithOptions(id string, opt Options) (*Result, error) {
+	e, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	opt = opt.withDefaults()
+	start := time.Now()
+	res, err := e.Run(opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = e.ID
+	res.Title = e.Title
+	res.Seed = opt.Seed
+	res.Quick = opt.Quick
+	res.PaperEraCPU = opt.PaperEraCPU
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
 // RunAll runs every registered experiment and writes the tables to w.
 func RunAll(w io.Writer, opt Options) error {
 	for _, id := range IDs() {
@@ -131,19 +212,12 @@ func RunAll(w io.Writer, opt Options) error {
 	return nil
 }
 
-// RunAndPrint runs one experiment by id and writes its tables to w.
+// RunAndPrint runs one experiment by id and writes its tables to w as
+// aligned text (the historical output format).
 func RunAndPrint(w io.Writer, id string, opt Options) error {
-	e, ok := Get(id)
-	if !ok {
-		return fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
-	}
-	fmt.Fprintf(w, "# %s — %s\n\n", e.ID, e.Title)
-	tables, err := e.Run(opt)
+	res, err := RunWithOptions(id, opt)
 	if err != nil {
-		return fmt.Errorf("experiments: %s: %w", id, err)
+		return err
 	}
-	for _, t := range tables {
-		t.Fprint(w)
-	}
-	return nil
+	return res.Text(w)
 }

@@ -84,12 +84,12 @@ func TestRunBulkTCPvsMPTCPOrdering(t *testing.T) {
 }
 
 func TestFig10KeyGenerationOrdering(t *testing.T) {
-	tables, err := runFig10(Options{Quick: true, Seed: 5})
+	res, err := runFig10(Options{Quick: true, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) == 0 || len(tables[0].Rows) != 4 {
-		t.Fatalf("fig10 should produce a 4-row summary, got %+v", tables)
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) != 4 {
+		t.Fatalf("fig10 should produce a 4-row summary, got %+v", res.Tables)
 	}
 }
 

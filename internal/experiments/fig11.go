@@ -98,8 +98,7 @@ func RunFig11Point(seed uint64, mode string, size, clients, requests int) (https
 	return pool.Result(), nil
 }
 
-func runFig11(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig11(opt Options) (*Result, error) {
 	clients, requests := fig11Params(opt.Quick)
 	sizes := Fig11Sizes(opt.Quick)
 
@@ -125,5 +124,17 @@ func runFig11(opt Options) ([]*Table, error) {
 		table.AddRow(row...)
 	}
 	table.AddNote("paper: for files >100KB MPTCP doubles the requests served vs single-link TCP; below ~30KB the subflow-setup overhead makes MPTCP slower; bonding is strong for small files, MPTCP pulls ahead of bonding above ~150KB")
-	return []*Table{table}, nil
+	res := &Result{Tables: []*Table{table}}
+	sizeX := make([]float64, len(sizes))
+	for i, size := range sizes {
+		sizeX[i] = float64(size >> 10)
+	}
+	for c, mode := range modes {
+		y := make([]float64, len(sizes))
+		for r := range sizes {
+			y[r] = results[r][c].RequestsPerSec
+		}
+		res.AddSeries(Series{Name: mode, Unit: "req/s", XLabel: "transfer KB", X: sizeX, Y: y})
+	}
+	return res, nil
 }

@@ -55,8 +55,7 @@ func fig4Variants() []fig4Variant {
 	}
 }
 
-func runFig4(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig4(opt Options) (*Result, error) {
 	duration, warmup := fig4Duration(opt.Quick)
 	buffers := fig4Buffers(opt.Quick)
 
@@ -93,7 +92,29 @@ func runFig4(opt Options) ([]*Table, error) {
 		table.AddRow(row...)
 	}
 	table.AddNote("paper: regular MPTCP underperforms TCP-over-WiFi below ~400KB; MPTCP+M1,2 matches or exceeds it at every buffer size")
-	return []*Table{table, goodputTable}, nil
+	res := &Result{Tables: []*Table{table, goodputTable}}
+	for _, s := range goodputSeries(buffers, variants, results) {
+		res.AddSeries(s)
+	}
+	return res, nil
+}
+
+// goodputSeries extracts one goodput-vs-buffer series per variant from a
+// buffers × variants BulkResult grid (shared by figures 4, 6 and 9).
+func goodputSeries(buffers []int, variants []fig4Variant, results [][]BulkResult) []Series {
+	x := make([]float64, len(buffers))
+	for i, buf := range buffers {
+		x[i] = float64(buf >> 10)
+	}
+	out := make([]Series, len(variants))
+	for c, v := range variants {
+		y := make([]float64, len(buffers))
+		for r := range buffers {
+			y[r] = results[r][c].GoodputMbps
+		}
+		out[c] = Series{Name: v.name, Unit: "Mbps", XLabel: "buffer KB", X: x, Y: y}
+	}
+	return out
 }
 
 func variantNames(vs []fig4Variant) []string {

@@ -20,8 +20,7 @@ func init() {
 	})
 }
 
-func runFig5(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig5(opt Options) (*Result, error) {
 	buffers := fig4Buffers(opt.Quick)
 	duration, warmup := fig4Duration(opt.Quick)
 
@@ -72,5 +71,20 @@ func runFig5(opt Options) ([]*Table, error) {
 	}
 	sender.AddNote("paper: TCP/WiFi uses the least memory, TCP/3G more, MPTCP up to ~500KB; capping (M4) roughly halves MPTCP's usage at large configured buffers")
 	receiver.AddNote("paper: receiver memory for MPTCP is at least ~2/3 of the sender's because of multipath reordering; single-path TCP receivers stay near zero")
-	return []*Table{sender, receiver}, nil
+	res := &Result{Tables: []*Table{sender, receiver}}
+	x := make([]float64, len(buffers))
+	for i, buf := range buffers {
+		x[i] = float64(buf >> 10)
+	}
+	for c, v := range variants {
+		snd := make([]float64, len(buffers))
+		rcv := make([]float64, len(buffers))
+		for r := range buffers {
+			snd[r] = results[r][c].SenderMemMeanKB
+			rcv[r] = results[r][c].ReceiverMemMeanKB
+		}
+		res.AddSeries(Series{Name: "sender mem " + v.name, Unit: "KB", XLabel: "buffer KB", X: x, Y: snd})
+		res.AddSeries(Series{Name: "receiver mem " + v.name, Unit: "KB", XLabel: "buffer KB", X: x, Y: rcv})
+	}
+	return res, nil
 }

@@ -13,9 +13,9 @@ import (
 // comparing MPTCP+M1,2 against regular MPTCP and single-path TCP.
 
 func init() {
-	Register(Experiment{ID: "fig6a", Title: "Fig. 6(a) — WiFi + very slow lossy 3G", Run: func(o Options) ([]*Table, error) { return runFig6(o, "a") }})
-	Register(Experiment{ID: "fig6b", Title: "Fig. 6(b) — 1 Gbps + 100 Mbps links", Run: func(o Options) ([]*Table, error) { return runFig6(o, "b") }})
-	Register(Experiment{ID: "fig6c", Title: "Fig. 6(c) — three 1 Gbps links", Run: func(o Options) ([]*Table, error) { return runFig6(o, "c") }})
+	Register(Experiment{ID: "fig6a", Title: "Fig. 6(a) — WiFi + very slow lossy 3G", Run: func(o Options) (*Result, error) { return runFig6(o, "a") }})
+	Register(Experiment{ID: "fig6b", Title: "Fig. 6(b) — 1 Gbps + 100 Mbps links", Run: func(o Options) (*Result, error) { return runFig6(o, "b") }})
+	Register(Experiment{ID: "fig6c", Title: "Fig. 6(c) — three 1 Gbps links", Run: func(o Options) (*Result, error) { return runFig6(o, "c") }})
 }
 
 type fig6Scenario struct {
@@ -88,8 +88,7 @@ func fig6Config(which string, quick bool) fig6Scenario {
 	}
 }
 
-func runFig6(opt Options, which string) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig6(opt Options, which string) (*Result, error) {
 	sc := fig6Config(which, opt.Quick)
 	table := NewTable(fmt.Sprintf("Fig. 6(%s): goodput (Mbps) vs rcv/snd buffer", which),
 		append([]string{"buffer"}, variantNames(sc.variants)...)...)
@@ -116,5 +115,9 @@ func runFig6(opt Options, which string) ([]*Table, error) {
 		table.AddRow(row...)
 	}
 	table.AddNote("%s", sc.note)
-	return []*Table{table}, nil
+	res := &Result{Tables: []*Table{table}}
+	for _, s := range goodputSeries(sc.buffers, sc.variants, results) {
+		res.AddSeries(s)
+	}
+	return res, nil
 }

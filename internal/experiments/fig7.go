@@ -19,8 +19,7 @@ func init() {
 	})
 }
 
-func runFig7(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig7(opt Options) (*Result, error) {
 	const buf = 200 << 10
 	duration, warmup := fig4Duration(opt.Quick)
 
@@ -34,6 +33,7 @@ func runFig7(opt Options) ([]*Table, error) {
 	summary := NewTable("Application delay of 8KB blocks (ms)",
 		"variant", "mean", "p50", "p95", "max", "blocks")
 	var pdfs []*Table
+	var series []Series
 
 	results, err := Sweep(len(variants), func(i int) (BulkResult, error) {
 		v := variants[i]
@@ -65,14 +65,18 @@ func runFig7(opt Options) ([]*Table, error) {
 			fmt.Sprintf("%d", h.Total()))
 
 		pdf := NewTable(fmt.Sprintf("PDF of app-delay — %s (10ms bins)", v.name), "delay bin (ms)", "fraction %")
+		var binX, binY []float64
 		for _, b := range h.PDF() {
 			pdf.AddRow(fmt.Sprintf("%.0f-%.0f", b.Low, b.Low+h.BinWidth), fmt.Sprintf("%.1f", b.Fraction*100))
+			binX = append(binX, b.Low)
+			binY = append(binY, b.Fraction)
 		}
 		pdfs = append(pdfs, pdf)
+		series = append(series, Series{Name: "app-delay PDF " + v.name, Unit: "fraction", XLabel: "delay ms (bin low)", X: binX, Y: binY})
 	}
 	summary.AddNote("paper: M1,2 avoid the long delay tail of regular MPTCP; TCP over WiFi is counter-intuitively slower than MPTCP+M1,2 because 200KB over-buffers its send queue")
 	summary.AddNote("duration %v, warmup %v", duration, warmup)
-	return append([]*Table{summary}, pdfs...), nil
+	return &Result{Tables: append([]*Table{summary}, pdfs...), Series: series}, nil
 }
 
 // percentileFromHistogram approximates a percentile from histogram bins.

@@ -24,8 +24,7 @@ func init() {
 	})
 }
 
-func runFig8(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig8(opt Options) (*Result, error) {
 	duration := 3 * time.Second
 	warmup := 500 * time.Millisecond
 	if opt.Quick {
@@ -54,22 +53,28 @@ func runFig8(opt Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{}
+	subflowX := []float64{2, 8}
 	for r, alg := range algs {
 		row := []string{alg.String()}
 		var goodputs []string
+		steps := make([]float64, len(perIfaces))
 		for c := range perIfaces {
-			res := results[r][c]
+			br := results[r][c]
 			stepsPerSeg := 0.0
-			if res.SegmentsDelivered > 0 {
-				stepsPerSeg = float64(res.ReassemblySteps) / float64(res.SegmentsDelivered)
+			if br.SegmentsDelivered > 0 {
+				stepsPerSeg = float64(br.ReassemblySteps) / float64(br.SegmentsDelivered)
 			}
+			steps[c] = stepsPerSeg
 			row = append(row, fmt.Sprintf("%.2f", stepsPerSeg))
-			goodputs = append(goodputs, fmtMbps(res.GoodputMbps))
+			goodputs = append(goodputs, fmtMbps(br.GoodputMbps))
 		}
 		row = append(row, goodputs...)
 		table.AddRow(row...)
+		res.AddSeries(Series{Name: alg.String(), Unit: "steps/segment", XLabel: "subflows", X: subflowX, Y: steps})
 	}
 	table.AddNote("paper: CPU load drops from Regular to Tree and further with Shortcuts/AllShortcuts; with 8 subflows the gap widens (42%% -> 30%% CPU), with 2 subflows 25%% -> 20%%")
 	table.AddNote("wall-clock per-insert costs for the same algorithms: go test -bench BenchmarkOfo")
-	return []*Table{table}, nil
+	res.AddTable(table)
+	return res, nil
 }

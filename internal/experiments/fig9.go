@@ -23,8 +23,7 @@ func init() {
 	})
 }
 
-func runFig9(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runFig9(opt Options) (*Result, error) {
 	buffers := []int{50 << 10, 100 << 10, 200 << 10, 500 << 10}
 	duration, warmup := fig4Duration(opt.Quick)
 
@@ -68,5 +67,9 @@ func runFig9(opt Options) ([]*Table, error) {
 		table.AddRow(row...)
 	}
 	table.AddNote("paper: MPTCP never underperforms TCP; at 500KB it reaches almost double the goodput of either path, at 100KB it is ~25%% ahead")
-	return []*Table{table}, nil
+	res := &Result{Tables: []*Table{table}}
+	for _, s := range goodputSeries(buffers, variants, results) {
+		res.AddSeries(s)
+	}
+	return res, nil
 }

@@ -53,8 +53,7 @@ func mboxCases() []mboxCase {
 	}
 }
 
-func runMbox(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runMbox(opt Options) (*Result, error) {
 	duration := 8 * time.Second
 	if opt.Quick {
 		duration = 4 * time.Second
@@ -87,6 +86,7 @@ func runMbox(opt Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	goodput := Series{Name: "goodput", Unit: "Mbps", XLabel: "case index"}
 	for i, mc := range cases {
 		res := results[i]
 		ok := res.GoodputMbps > 0.5 // the transfer made real progress
@@ -97,7 +97,9 @@ func runMbox(opt Options) ([]*Table, error) {
 			fmt.Sprintf("%d", res.Subflows),
 			fmt.Sprintf("%d", res.ClientStats.ChecksumFailures+res.ServerStats.ChecksumFailures),
 			mc.expected)
+		goodput.X = append(goodput.X, float64(i))
+		goodput.Y = append(goodput.Y, res.GoodputMbps)
 	}
 	table.AddNote("the deployability requirement (§2): data transfer must complete in every row, with or without multipath")
-	return []*Table{table}, nil
+	return &Result{Tables: []*Table{table}, Series: []Series{goodput}}, nil
 }

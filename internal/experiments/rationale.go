@@ -83,8 +83,7 @@ func runWindowScenario(seed uint64, perSubflowWindow bool, total int, deadline t
 	return received, received >= total, nil
 }
 
-func runRationale(opt Options) ([]*Table, error) {
-	opt = opt.withDefaults()
+func runRationale(opt Options) (*Result, error) {
 	total := 2 << 20
 	deadline := 60 * time.Second
 	if opt.Quick {
@@ -106,15 +105,18 @@ func runRationale(opt Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	delivered := Series{Name: "bytes delivered", Unit: "bytes", XLabel: "0=per-subflow window, 1=shared window"}
 	for i, perSubflow := range semantics {
 		name := "shared connection-level window (MPTCP design)"
 		if perSubflow {
 			name = "per-subflow windows (naive TCP inheritance)"
 		}
 		table.AddRow(name, fmt.Sprintf("%d / %d", results[i].received, total), fmt.Sprintf("%v", results[i].completed))
+		delivered.X = append(delivered.X, float64(i))
+		delivered.Y = append(delivered.Y, float64(results[i].received))
 	}
 	table.AddNote("paper §3.3.1: with per-subflow windows the data lost on the failed subflow cannot be resent on the surviving one once its window slice has filled — the connection deadlocks; the shared window avoids this by construction")
-	return []*Table{table}, nil
+	return &Result{Tables: []*Table{table}, Series: []Series{delivered}}, nil
 }
 
 func min(a, b int) int {

@@ -141,3 +141,94 @@ func TestBandwidthDelayProduct(t *testing.T) {
 		t.Fatalf("BDP = %d, want 100000", got)
 	}
 }
+
+func TestBuildGraphMultiHost(t *testing.T) {
+	s := sim.New(1)
+	n, err := BuildGraph(s, GraphSpec{
+		Hosts: []string{"c0", "c1", "srv"},
+		Links: []LinkSpec{
+			{Name: "a", A: "c0", B: "srv", Config: SymmetricPath(Mbps(8), time.Millisecond, 0, 0)},
+			{A: "c1", B: "srv", Config: SymmetricPath(Mbps(2), time.Millisecond, 0, 0)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Hosts) != 3 || n.Host("srv") == nil || n.Host("c0") == nil {
+		t.Fatalf("hosts not built: %v", n.HostNames())
+	}
+	if n.Client != nil || n.Server != nil {
+		t.Fatal("Client/Server aliases must stay nil without hosts named client/server")
+	}
+	if got := n.Path(1).Name(); got != "path1" {
+		t.Fatalf("unnamed link default = %q, want path1", got)
+	}
+	if len(n.Host("srv").Interfaces()) != 2 {
+		t.Fatalf("server should have one interface per link, got %d", len(n.Host("srv").Interfaces()))
+	}
+	// Address plan: link i is 10.(i>>8).(i&255).{1,2} with A at .1.
+	if got := n.Path(1).A().Addr(); got != packet.MakeAddr(10, 0, 1, 1) {
+		t.Fatalf("link 1 A-side address = %v", got)
+	}
+	if ps := n.PathsBetween(n.Host("c0"), n.Host("srv")); len(ps) != 1 || ps[0].Name() != "a" {
+		t.Fatalf("PathsBetween(c0, srv) = %v", ps)
+	}
+	if peer := n.Path(0).Peer(n.Path(0).A()); peer != n.Path(0).B() {
+		t.Fatal("Peer(A) must be B")
+	}
+	if peer := n.Path(0).Peer(n.Path(1).A()); peer != nil {
+		t.Fatal("Peer of a foreign interface must be nil")
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	s := sim.New(1)
+	cases := []GraphSpec{
+		{Hosts: []string{"a", "a"}},
+		{Hosts: []string{""}},
+		{Hosts: []string{"a"}, Links: []LinkSpec{{A: "a", B: "missing"}}},
+		{Hosts: []string{"a"}, Links: []LinkSpec{{A: "missing", B: "a"}}},
+		{Hosts: []string{"a", "b"}, Links: []LinkSpec{{A: "a", B: "a"}}},
+	}
+	for i, spec := range cases {
+		if _, err := BuildGraph(s, spec); err == nil {
+			t.Errorf("case %d: BuildGraph accepted an invalid spec", i)
+		}
+	}
+}
+
+func TestBuildKeepsTwoHostLayout(t *testing.T) {
+	s := sim.New(1)
+	n := Build(s, WiFi3GSpec()...)
+	if n.Client == nil || n.Server == nil {
+		t.Fatal("two-host Build must set the Client/Server aliases")
+	}
+	if n.Client != n.Host("client") || n.Server != n.Host("server") {
+		t.Fatal("aliases must match named hosts")
+	}
+	// The historical address plan: client 10.0.i.1, server 10.0.i.2.
+	for i := range n.Paths {
+		if n.ClientAddr(i) != packet.MakeAddr(10, 0, byte(i), 1) || n.ServerAddr(i) != packet.MakeAddr(10, 0, byte(i), 2) {
+			t.Fatalf("path %d addresses drifted: %v / %v", i, n.ClientAddr(i), n.ServerAddr(i))
+		}
+	}
+}
+
+func TestBuildGraphAliasesAreNameBased(t *testing.T) {
+	s := sim.New(1)
+	// Two hosts declared server-first: the aliases must follow the names,
+	// not the declaration positions.
+	n, err := BuildGraph(s, GraphSpec{
+		Hosts: []string{"server", "client0"},
+		Links: []LinkSpec{{A: "client0", B: "server", Config: SymmetricPath(Mbps(8), time.Millisecond, 0, 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Client != nil {
+		t.Fatalf("no host is named client, yet Client aliases %q", n.Client.Name())
+	}
+	if n.Server != n.Host("server") {
+		t.Fatal("Server alias must resolve to the host named server")
+	}
+}

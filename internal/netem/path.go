@@ -112,6 +112,18 @@ func (p *Path) A() *Interface { return p.a }
 // B returns the path's B-side interface.
 func (p *Path) B() *Interface { return p.b }
 
+// Peer returns the interface at the opposite end of the path from ifc, or
+// nil when ifc is not one of the path's endpoints.
+func (p *Path) Peer(ifc *Interface) *Interface {
+	switch ifc {
+	case p.a:
+		return p.b
+	case p.b:
+		return p.a
+	}
+	return nil
+}
+
 // LinkAB returns the A-to-B link.
 func (p *Path) LinkAB() *Link { return p.linkAB }
 

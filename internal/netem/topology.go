@@ -9,11 +9,20 @@ import (
 )
 
 // Network bundles a simulator, hosts and paths into one experiment topology.
+// Topologies may contain any number of hosts; the classic two-host
+// client/server experiments are the special case built by Build.
 type Network struct {
-	Sim    *sim.Simulator
+	Sim *sim.Simulator
+	// Client and Server alias the hosts named "client" and "server" (the
+	// names Build assigns; nil otherwise); the multi-host API is
+	// Hosts/Host.
 	Client *Host
 	Server *Host
-	Paths  []*Path
+	// Hosts lists every host in declaration order.
+	Hosts []*Host
+	Paths []*Path
+
+	hostByName map[string]*Host
 }
 
 // PathSpec describes one bidirectional path between the client and the
@@ -30,30 +39,148 @@ func Symmetric(name string, rateBps int64, delay time.Duration, queueBytes int, 
 	return PathSpec{Name: name, Config: SymmetricPath(rateBps, delay, queueBytes, loss)}
 }
 
-// Build constructs a client and a server connected by one path per spec. The
-// client's i-th interface gets address 10.0.i.1, the server's 10.0.i.2.
-func Build(s *sim.Simulator, specs ...PathSpec) *Network {
-	n := &Network{Sim: s}
-	n.Client = NewHost(s, "client")
-	n.Server = NewHost(s, "server")
-	for i, spec := range specs {
-		cfg := spec.Config
+// LinkSpec describes one bidirectional path between two named hosts in a
+// GraphSpec topology.
+type LinkSpec struct {
+	// Name labels the path in traces; defaults to "path<i>".
+	Name string
+	// A and B name the two endpoint hosts. Traffic from A to B uses
+	// Config.AB, the reverse direction Config.BA (mirrored from AB when
+	// zero).
+	A, B string
+	// Config describes the two directions.
+	Config PathConfig
+	// Boxes is the middlebox chain installed on the path (applied in order
+	// for A-to-B traffic).
+	Boxes []Box
+}
+
+// GraphSpec declares a multi-host topology: named hosts connected by
+// point-to-point links. It is the input to BuildGraph.
+type GraphSpec struct {
+	// Hosts lists the host names in declaration order.
+	Hosts []string
+	// Links lists the point-to-point paths between hosts.
+	Links []LinkSpec
+}
+
+// linkAddrs returns the interface addresses for the i-th link: the A side
+// gets 10.hi.lo.1 and the B side 10.hi.lo.2, so two-host topologies keep the
+// historical 10.0.i.{1,2} layout while graphs may hold up to 2^16 links.
+func linkAddrs(i int) (a, b packet.Addr) {
+	hi, lo := byte(i>>8), byte(i)
+	return packet.MakeAddr(10, hi, lo, 1), packet.MakeAddr(10, hi, lo, 2)
+}
+
+// BuildGraph constructs a multi-host topology from the spec: one Host per
+// declared name and one Path (with a fresh interface on both endpoint hosts)
+// per link. Link i uses the 10.x.y.0/24 subnet derived from its index, A side
+// .1 and B side .2.
+func BuildGraph(s *sim.Simulator, spec GraphSpec) (*Network, error) {
+	if len(spec.Links) > 1<<16 {
+		return nil, fmt.Errorf("netem: %d links exceed the addressing plan's 2^16 limit", len(spec.Links))
+	}
+	n := &Network{Sim: s, hostByName: make(map[string]*Host, len(spec.Hosts))}
+	for _, name := range spec.Hosts {
+		if name == "" {
+			return nil, fmt.Errorf("netem: empty host name")
+		}
+		if _, dup := n.hostByName[name]; dup {
+			return nil, fmt.Errorf("netem: duplicate host %q", name)
+		}
+		h := NewHost(s, name)
+		n.hostByName[name] = h
+		n.Hosts = append(n.Hosts, h)
+	}
+	for i, l := range spec.Links {
+		ha, hb := n.hostByName[l.A], n.hostByName[l.B]
+		if ha == nil {
+			return nil, fmt.Errorf("netem: link %d references unknown host %q", i, l.A)
+		}
+		if hb == nil {
+			return nil, fmt.Errorf("netem: link %d references unknown host %q", i, l.B)
+		}
+		if ha == hb {
+			return nil, fmt.Errorf("netem: link %d connects host %q to itself", i, l.A)
+		}
+		cfg := l.Config
 		if cfg.BA == (LinkConfig{}) {
 			cfg.BA = cfg.AB
 		}
-		ca := n.Client.AddInterface(packet.MakeAddr(10, 0, byte(i), 1))
-		sa := n.Server.AddInterface(packet.MakeAddr(10, 0, byte(i), 2))
-		name := spec.Name
+		addrA, addrB := linkAddrs(i)
+		ia := ha.AddInterface(addrA)
+		ib := hb.AddInterface(addrB)
+		name := l.Name
 		if name == "" {
 			name = fmt.Sprintf("path%d", i)
 		}
-		n.Paths = append(n.Paths, NewPath(s, name, ca, sa, cfg))
+		p := NewPath(s, name, ia, ib, cfg)
+		for _, b := range l.Boxes {
+			p.AddBox(b)
+		}
+		n.Paths = append(n.Paths, p)
+	}
+	// The aliases are bound by name, not position: a graph that declares the
+	// server first (or names its hosts differently) must not hand consumers
+	// the wrong host through the historical accessors.
+	n.Client = n.hostByName["client"]
+	n.Server = n.hostByName["server"]
+	return n, nil
+}
+
+// Build constructs a client and a server connected by one path per spec. The
+// client's i-th interface gets address 10.0.i.1, the server's 10.0.i.2. It is
+// the two-host special case of BuildGraph.
+func Build(s *sim.Simulator, specs ...PathSpec) *Network {
+	g := GraphSpec{Hosts: []string{"client", "server"}}
+	for _, spec := range specs {
+		g.Links = append(g.Links, LinkSpec{Name: spec.Name, A: "client", B: "server", Config: spec.Config})
+	}
+	n, err := BuildGraph(s, g)
+	if err != nil {
+		// The generated spec is structurally valid by construction.
+		panic(err)
 	}
 	return n
 }
 
+// Host returns the host with the given name, or nil.
+func (n *Network) Host(name string) *Host { return n.hostByName[name] }
+
+// HostNames returns the host names in declaration order.
+func (n *Network) HostNames() []string {
+	names := make([]string, len(n.Hosts))
+	for i, h := range n.Hosts {
+		names[i] = h.Name()
+	}
+	return names
+}
+
 // Path returns the i-th path.
 func (n *Network) Path(i int) *Path { return n.Paths[i] }
+
+// PathByName returns the path with the given name, or nil.
+func (n *Network) PathByName(name string) *Path {
+	for _, p := range n.Paths {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// PathsBetween returns the paths whose endpoints are the two given hosts, in
+// construction order.
+func (n *Network) PathsBetween(a, b *Host) []*Path {
+	var out []*Path
+	for _, p := range n.Paths {
+		ha, hb := p.A().Host(), p.B().Host()
+		if (ha == a && hb == b) || (ha == b && hb == a) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // ClientAddr returns the client's address on path i.
 func (n *Network) ClientAddr(i int) packet.Addr { return n.Paths[i].A().Addr() }

@@ -199,6 +199,12 @@ func (s *Simulator) step() bool {
 	return true
 }
 
+// Step executes the earliest pending event, advancing the clock to its
+// firing time. It returns false when no events remain. Blocking adapters
+// (mptcpgo.Stream) use it to drive the simulation just far enough to make
+// progress.
+func (s *Simulator) Step() bool { return s.step() }
+
 // Run executes events until the queue drains. It returns an error if
 // MaxEvents is exceeded.
 func (s *Simulator) Run() error {

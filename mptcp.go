@@ -7,27 +7,34 @@
 // experiment harnesses that regenerate every figure of the paper's
 // evaluation.
 //
-// The package is the public facade: it wires together the internal packages
-// (netem, tcp, core, experiments) into a small API for building emulated
-// multipath networks, opening MPTCP or TCP connections over them and running
-// the paper's scenarios. See the examples/ directory for runnable programs
-// and DESIGN.md for the system inventory.
+// The package is the public facade over the internal packages (netem, tcp,
+// core, experiments), split across four files:
+//
+//   - topology.go — the composable Topology builder: named hosts joined by
+//     (possibly asymmetric) links and middlebox chains, N clients × M
+//     servers, materialised into a Network with one MPTCP stack per host.
+//   - conn.go — net-style connections: Dial(host, "server:80", opts...) and
+//     the Stream wrapper that makes connections ordinary
+//     io.ReadWriteClosers.
+//   - results.go — structured experiment access: Run returns a typed Result
+//     with Text/JSON/CSV encoders.
+//   - mptcp.go (this file) — configurations plus the original two-host
+//     NewSimulation facade, kept as a thin compatibility wrapper over the
+//     builder.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory and the facade layering.
 package mptcpgo
 
 import (
 	"fmt"
-	"io"
 	"time"
 
 	"mptcpgo/internal/core"
-	"mptcpgo/internal/experiments"
-	"mptcpgo/internal/netem"
-	"mptcpgo/internal/packet"
-	"mptcpgo/internal/sim"
 )
 
 // PathSpec describes one bidirectional path between the client and the
-// server of a simulation.
+// server of a two-host simulation (compatibility form of Link).
 type PathSpec struct {
 	// Name labels the path in traces ("wifi", "3g", ...).
 	Name string
@@ -42,14 +49,15 @@ type PathSpec struct {
 	LossRate float64
 }
 
-func (p PathSpec) toInternal() netem.PathSpec {
-	lc := netem.LinkConfig{
-		RateBps:    int64(p.RateMbps * 1e6),
+// toLink converts the symmetric path description to a Link.
+func (p PathSpec) toLink() Link {
+	lc := LinkConfig{
+		RateMbps:   p.RateMbps,
 		Delay:      p.RTT / 2,
 		QueueBytes: p.QueueBytes,
 		LossRate:   p.LossRate,
 	}
-	return netem.PathSpec{Name: p.Name, Config: netem.PathConfig{AB: lc, BA: lc}}
+	return Link{Name: p.Name, AtoB: lc, BtoA: lc}
 }
 
 // WiFiPath returns the paper's emulated WiFi path (8 Mbps, 20 ms RTT, 80 ms
@@ -91,14 +99,13 @@ type Conn = core.Connection
 // Listener accepts connections on the server host.
 type Listener = core.Listener
 
-// Simulation is a client and a server connected by one or more paths, with
-// an MPTCP stack on each side, driven by a deterministic discrete-event
-// clock.
+// Simulation is the original two-host facade: a client and a server
+// connected by one or more symmetric paths. It is a thin compatibility
+// wrapper over the Topology builder — the embedded Network carries the
+// general API (Dial by host name, streams, link control), while the methods
+// below keep the historical positional signatures.
 type Simulation struct {
-	sim    *sim.Simulator
-	net    *netem.Network
-	client *core.Manager
-	server *core.Manager
+	*Network
 }
 
 // NewSimulation builds a client/server topology with one path per spec.
@@ -106,79 +113,36 @@ func NewSimulation(seed uint64, paths ...PathSpec) *Simulation {
 	if len(paths) == 0 {
 		paths = []PathSpec{WiFiPath(), ThreeGPath()}
 	}
-	specs := make([]netem.PathSpec, len(paths))
-	for i, p := range paths {
-		specs[i] = p.toInternal()
+	t := NewTopology(seed)
+	for _, p := range paths {
+		t.Connect("client", "server", p.toLink())
 	}
-	s := sim.New(seed)
-	n := netem.Build(s, specs...)
-	return &Simulation{
-		sim:    s,
-		net:    n,
-		client: core.NewManager(n.Client),
-		server: core.NewManager(n.Server),
+	n, err := t.Build()
+	if err != nil {
+		// Unreachable: the generated topology is structurally valid.
+		panic(err)
 	}
+	return &Simulation{Network: n}
 }
-
-// Now returns the current simulated time.
-func (s *Simulation) Now() time.Duration { return s.sim.Now() }
-
-// Run advances the simulation by d.
-func (s *Simulation) Run(d time.Duration) error { return s.sim.RunFor(d) }
-
-// RunUntil advances the simulation to the absolute time t.
-func (s *Simulation) RunUntil(t time.Duration) error { return s.sim.RunUntil(t) }
-
-// Schedule runs fn after delay d of simulated time.
-func (s *Simulation) Schedule(d time.Duration, fn func()) { s.sim.Schedule(d, fn) }
 
 // Listen installs a server listener on the given port; accept is invoked for
 // every new connection before any data arrives.
 func (s *Simulation) Listen(port uint16, cfg Config, accept func(*Conn)) (*Listener, error) {
-	return s.server.Listen(port, cfg, accept)
+	return s.Network.Listen("server", port, cfg, accept)
 }
 
 // Dial opens a connection from the client's i-th interface to the server's
 // address on the same path index.
 func (s *Simulation) Dial(ifaceIndex int, port uint16, cfg Config) (*Conn, error) {
-	ifaces := s.net.Client.Interfaces()
-	if ifaceIndex < 0 || ifaceIndex >= len(ifaces) {
-		return nil, fmt.Errorf("mptcpgo: interface index %d out of range (%d interfaces)", ifaceIndex, len(ifaces))
+	if ifaceIndex < 0 {
+		return nil, fmt.Errorf("mptcpgo: interface index %d out of range", ifaceIndex)
 	}
-	remote := packet.Endpoint{Addr: s.net.ServerAddr(ifaceIndex), Port: port}
-	return s.client.Dial(ifaces[ifaceIndex], remote, cfg)
-}
-
-// SetPathDown fails (or restores) the i-th path; segments on a failed path
-// are silently dropped, modelling mobility or radio loss.
-func (s *Simulation) SetPathDown(i int, down bool) error {
-	if i < 0 || i >= len(s.net.Paths) {
-		return fmt.Errorf("mptcpgo: path index %d out of range", i)
-	}
-	s.net.Path(i).SetDown(down)
-	return nil
+	return s.Network.Dial("client", fmt.Sprintf("server:%d", port),
+		WithConfig(cfg), WithInterface(ifaceIndex))
 }
 
 // ClientManager exposes the client-side MPTCP stack for advanced use.
-func (s *Simulation) ClientManager() *core.Manager { return s.client }
+func (s *Simulation) ClientManager() *core.Manager { return s.Manager("client") }
 
 // ServerManager exposes the server-side MPTCP stack for advanced use.
-func (s *Simulation) ServerManager() *core.Manager { return s.server }
-
-// Internal returns the underlying emulated network for advanced topologies
-// (middlebox chains, link reconfiguration).
-func (s *Simulation) Internal() *netem.Network { return s.net }
-
-// ---------------------------------------------------------------------------
-// Experiment access
-// ---------------------------------------------------------------------------
-
-// ExperimentIDs lists the available paper experiments (fig3..fig11, mbox,
-// rationale).
-func ExperimentIDs() []string { return experiments.IDs() }
-
-// RunExperiment runs one of the paper's experiments and writes its tables to
-// w. Set quick to true for a reduced sweep.
-func RunExperiment(w io.Writer, id string, quick bool, seed uint64) error {
-	return experiments.RunAndPrint(w, id, experiments.Options{Quick: quick, Seed: seed})
-}
+func (s *Simulation) ServerManager() *core.Manager { return s.Manager("server") }

@@ -1,0 +1,156 @@
+package mptcpgo
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The API contract of the redesign: connections compose with the entire Go
+// ecosystem.
+var _ io.ReadWriteCloser = (*Stream)(nil)
+
+// buildEchoPair returns a network with a server that writes total bytes of a
+// known pattern to every accepted connection and then closes its sending
+// side.
+func buildDownloadNet(t *testing.T, total int) *Network {
+	t.Helper()
+	net, err := NewTopology(5).
+		Connect("client", "server", WiFiLink()).
+		Connect("client", "server", ThreeGLink()).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("server", 80, DefaultConfig(), func(c *Conn) {
+		sent := 0
+		pump := func() {
+			for sent < total {
+				n := 32 << 10
+				if total-sent < n {
+					n = total - sent
+				}
+				w := c.Write(pattern(sent, n))
+				if w == 0 {
+					return
+				}
+				sent += w
+			}
+			c.Close()
+		}
+		c.OnEstablished = pump
+		c.OnWritable = pump
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// pattern returns n deterministic bytes of the stream starting at offset.
+func pattern(offset, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte((offset + i) * 131)
+	}
+	return out
+}
+
+// TestStreamReadUntilEOF checks the io.Reader contract end to end: short
+// reads return whatever is in order, the byte sequence is intact, and after
+// the peer's DATA_FIN drains the stream reports io.EOF — repeatedly.
+func TestStreamReadUntilEOF(t *testing.T) {
+	const total = 256 << 10
+	net := buildDownloadNet(t, total)
+
+	stream, err := net.DialStream("client", "server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	buf := make([]byte, 3000) // deliberately not segment-aligned
+	for {
+		n, err := stream.Read(buf)
+		if n > 0 {
+			if n > len(buf) {
+				t.Fatalf("Read returned n=%d > len(p)=%d", n, len(buf))
+			}
+			got.Write(buf[:n])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read failed after %d bytes: %v", got.Len(), err)
+		}
+	}
+	if got.Len() != total {
+		t.Fatalf("read %d bytes, want %d", got.Len(), total)
+	}
+	if !bytes.Equal(got.Bytes(), pattern(0, total)) {
+		t.Fatal("stream bytes do not match the written pattern")
+	}
+	// io.EOF must be sticky.
+	for i := 0; i < 3; i++ {
+		if n, err := stream.Read(buf); n != 0 || err != io.EOF {
+			t.Fatalf("post-EOF Read returned (%d, %v), want (0, io.EOF)", n, err)
+		}
+	}
+	// Zero-length reads never block and never error.
+	if n, err := stream.Read(nil); n != 0 || err != nil {
+		t.Fatalf("zero-length Read returned (%d, %v)", n, err)
+	}
+}
+
+// TestStreamWriteAfterClose pins the writer half of the contract: Close
+// queues the DATA_FIN and further Writes fail with io.ErrClosedPipe.
+func TestStreamWriteAfterClose(t *testing.T) {
+	net, err := NewTopology(6).Connect("client", "server", WiFiLink()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("server", 80, DefaultConfig(), func(c *Conn) {
+		c.OnReadable = func() {
+			for len(c.Read(64<<10)) > 0 {
+			}
+			if c.EOF() {
+				c.Close()
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := net.DialStream("client", "server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Write(make([]byte, 100<<10)); err != nil {
+		t.Fatalf("Write failed: %v", err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("Close failed: %v", err)
+	}
+	if _, err := stream.Write([]byte("more")); err != io.ErrClosedPipe {
+		t.Fatalf("Write after Close returned %v, want io.ErrClosedPipe", err)
+	}
+}
+
+// TestStreamStalls checks that a stream blocked forever reports
+// ErrStreamStalled instead of spinning: once the simulation runs out of
+// events nothing can ever deliver more bytes.
+func TestStreamStalls(t *testing.T) {
+	net, err := NewTopology(8).Connect("client", "server", WiFiLink()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A server that accepts but never writes and never closes.
+	if _, err := net.Listen("server", 80, DefaultConfig(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := net.DialStream("client", "server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := stream.Read(make([]byte, 16)); err != ErrStreamStalled {
+		t.Fatalf("Read on an idle connection returned (%d, %v), want ErrStreamStalled", n, err)
+	}
+}
