@@ -3,6 +3,7 @@ package mptcpgo
 import (
 	"testing"
 
+	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/pool"
 )
@@ -49,6 +50,40 @@ func TestPooledSegmentCycleNoAllocs(t *testing.T) {
 	})
 	if avg >= 1 {
 		t.Fatalf("pooled segment cycle allocates %.2f allocs/op; want 0", avg)
+	}
+}
+
+// TestOfoQueueSteadyStateNoAllocs guards the free-listed out-of-order
+// queues: once the node/batch free lists and the PopContiguous scratch slice
+// are warm, a reorder-then-drain cycle (two subflows, one gap, one fill) must
+// not allocate in any of the four §4.3 algorithms — neither for payload
+// buffers (pooled since PR 1) nor for the listNode/treeNode/batchNode structs
+// and the result slice.
+func TestOfoQueueSteadyStateNoAllocs(t *testing.T) {
+	payload := make([]byte, 1460)
+	for _, alg := range buffer.Algorithms() {
+		q := buffer.NewOfoQueue(alg)
+		var next uint64
+		cycle := func() {
+			// Subflow 1's segment arrives early (creating the gap), subflow
+			// 0's fills it; the drain returns both.
+			q.Insert(buffer.Item{Seq: next + 1460, Data: payload, Subflow: 1})
+			q.Insert(buffer.Item{Seq: next, Data: payload, Subflow: 0})
+			for _, it := range q.PopContiguous(next) {
+				next = it.End()
+				pool.Recycle(it.Data)
+			}
+			if q.Len() != 0 {
+				t.Fatalf("%s: queue not drained (%d items left)", q.Name(), q.Len())
+			}
+		}
+		for i := 0; i < 16; i++ {
+			cycle() // warm the free lists and the scratch slice
+		}
+		avg := testing.AllocsPerRun(300, cycle)
+		if avg >= 1 {
+			t.Fatalf("%s OFO steady-state cycle allocates %.2f allocs/op; want 0", q.Name(), avg)
+		}
 	}
 }
 

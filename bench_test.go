@@ -7,6 +7,7 @@
 package mptcpgo
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/pool"
@@ -44,6 +46,26 @@ func BenchmarkFig10ConnectionSetup(b *testing.B)  { runExperimentBench(b, "fig10
 func BenchmarkFig11HTTP(b *testing.B)             { runExperimentBench(b, "fig11") }
 func BenchmarkMboxTraversal(b *testing.B)         { runExperimentBench(b, "mbox") }
 func BenchmarkRationaleWindowDesign(b *testing.B) { runExperimentBench(b, "rationale") }
+
+// BenchmarkFleetHTTP measures the sharded fleet engine's wall-clock scaling:
+// the same 512-client closed-loop workload partitioned into 8 shards, run at
+// 1/2/4/8 workers. The merged result is identical at every worker count (the
+// fleet determinism tests pin this); only wall-clock should change — on a
+// multi-core host, 8 workers should cut it well over 2× vs 1.
+func BenchmarkFleetHTTP(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := fleet.DefaultHTTPSpec(42, 512, 2, 32<<10)
+				spec.Shards = 8
+				spec.Workers = workers
+				if _, err := fleet.RunHTTP(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkMPTCPTransferWiFi3G measures end-to-end simulated goodput of the
 // full stack on the WiFi+3G scenario and reports it as a domain metric.

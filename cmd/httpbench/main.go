@@ -1,12 +1,19 @@
 // Command httpbench runs the apachebench-style HTTP workload of Figure 11:
 // closed-loop clients fetching fixed-size responses over regular TCP, TCP
-// with link bonding, or MPTCP.
+// with link bonding, or MPTCP. Like mptcpbench, it renders a structured
+// Result in text (default), JSON or CSV form.
+//
+// Usage:
+//
+//	httpbench -mode mptcp -size 102400 -clients 100
+//	httpbench -sweep -quick -format json -out fig11.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mptcpgo/internal/experiments"
 )
@@ -19,33 +26,74 @@ func main() {
 	seed := flag.Uint64("seed", 42, "RNG seed")
 	sweep := flag.Bool("sweep", false, "run the full Figure 11 sweep instead of a single point")
 	quick := flag.Bool("quick", false, "smaller sweep (with -sweep)")
+	format := flag.String("format", "text", "output format: text | json | csv")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
 
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fail(fmt.Errorf("unknown output format %q (want text, json or csv)", *format))
+	}
+
+	var res *experiments.Result
+	var err error
 	if *sweep {
 		opts := []experiments.Option{experiments.WithSeed(*seed)}
 		if *quick {
 			opts = append(opts, experiments.WithQuick())
 		}
-		res, err := experiments.Run("fig11", opts...)
-		if err == nil {
-			err = res.Text(os.Stdout)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		return
+		res, err = experiments.Run("fig11", opts...)
+	} else {
+		res, err = runPoint(*seed, *mode, *size, *clients, *requests)
+	}
+	if err != nil {
+		fail(err)
 	}
 
-	res, err := experiments.RunFig11Point(*seed, *mode, *size, *clients, *requests)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	w := os.Stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fail(cerr)
+		}
+		defer f.Close()
+		w = f
 	}
-	fmt.Printf("mode=%s size=%dKB clients=%d\n", *mode, *size>>10, *clients)
-	fmt.Printf("  completed:      %d (failed %d)\n", res.Completed, res.Failed)
-	fmt.Printf("  requests/sec:   %.1f\n", res.RequestsPerSec)
-	fmt.Printf("  mean latency:   %v\n", res.MeanLatency)
-	fmt.Printf("  p95 latency:    %v\n", res.P95Latency)
-	fmt.Printf("  bytes received: %d\n", res.BytesReceived)
+	if err := experiments.WriteResults(w, *format, []*experiments.Result{res}); err != nil {
+		fail(err)
+	}
+}
+
+// runPoint runs one (mode, size) combination and wraps the pool summary as a
+// structured Result so every output format of the sweep path works for single
+// points too.
+func runPoint(seed uint64, mode string, size, clients, requests int) (*experiments.Result, error) {
+	start := time.Now()
+	pr, err := experiments.RunFig11Point(seed, mode, size, clients, requests)
+	if err != nil {
+		return nil, err
+	}
+	res := &experiments.Result{
+		ID:      "httpbench",
+		Title:   fmt.Sprintf("HTTP benchmark point — mode=%s size=%dKB clients=%d", mode, size>>10, clients),
+		Seed:    seed,
+		Elapsed: time.Since(start),
+	}
+	table := experiments.NewTable(fmt.Sprintf("%d closed-loop clients, %d requests", clients, requests),
+		"metric", "value")
+	table.AddRow("completed", fmt.Sprintf("%d", pr.Completed))
+	table.AddRow("failed", fmt.Sprintf("%d", pr.Failed))
+	table.AddRow("requests/sec", fmt.Sprintf("%.1f", pr.RequestsPerSec))
+	table.AddRow("mean latency", pr.MeanLatency.String())
+	table.AddRow("p95 latency", pr.P95Latency.String())
+	table.AddRow("bytes received", fmt.Sprintf("%d", pr.BytesReceived))
+	res.AddTable(table)
+	res.AddSeries(experiments.Series{Name: "requests/sec", Unit: "req/s", Y: []float64{pr.RequestsPerSec}})
+	return res, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

@@ -1,4 +1,5 @@
-// Command mptcpbench regenerates the paper's evaluation tables and figures.
+// Command mptcpbench regenerates the paper's evaluation tables and figures,
+// and runs the sharded fleet scenarios that go beyond the paper's scale.
 //
 // Usage:
 //
@@ -6,11 +7,19 @@
 //	mptcpbench -run fig4
 //	mptcpbench -run all -quick
 //	mptcpbench -run fig3 -quick -format json -out BENCH_fig3.json
+//	mptcpbench -scenario fleet-http -clients 1000 -workers 8
+//	mptcpbench -scenario incast -quick -format json
 //
 // Each experiment produces the same rows/series the corresponding figure in
 // the paper reports, as aligned text (default), JSON or CSV; EXPERIMENTS.md
 // records a captured run next to the paper's numbers, and CI archives the
 // quick-run JSON as BENCH_*.json trajectory points.
+//
+// The -scenario families run on the internal/fleet sharded engine: the
+// workload is partitioned into shards (each shard its own simulator plus
+// server replica), shards execute in parallel across -workers goroutines and
+// the merged output is byte-identical at any worker count for a fixed -seed
+// and -shards.
 package main
 
 import (
@@ -18,18 +27,24 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/fleet"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
+	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | incast | mixed")
 	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
 	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed; 0 is a legal seed)")
 	format := flag.String("format", "text", "output format: text | json | csv")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	paperEra := flag.Bool("paper-era-cpu", false, "use the 2012-class host CPU cost model instead of calibrating on this machine")
+	clients := flag.Int("clients", 0, "fleet scenario size: clients, senders or pairs (0 = scenario default)")
+	shards := flag.Int("shards", 0, "fleet shard count (0 = one shard per 64 members)")
+	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS; never changes the output)")
 	flag.Parse()
 
 	switch *format {
@@ -38,12 +53,37 @@ func main() {
 		fail(fmt.Errorf("unknown output format %q (want text, json or csv)", *format))
 	}
 
+	if *scenario != "" {
+		// -scenario selects a fleet run; combining it with flags it cannot
+		// honour would silently produce output for different options than
+		// requested.
+		if *run != "" {
+			fail(fmt.Errorf("-scenario and -run are mutually exclusive"))
+		}
+		if *paperEra {
+			fail(fmt.Errorf("-paper-era-cpu does not apply to fleet scenarios"))
+		}
+		res, elapsed, err := runScenario(*scenario, *seed, *clients, *shards, *workers, *quick)
+		if err != nil {
+			fail(err)
+		}
+		// The merged result is byte-comparable across runs and worker counts,
+		// so wall-clock goes to stderr rather than into the encoded output.
+		fmt.Fprintf(os.Stderr, "%s: %v wall-clock\n", res.ID, elapsed.Round(time.Millisecond))
+		writeResults(*out, *format, []*experiments.Result{res})
+		return
+	}
+
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Get(id)
 			fmt.Printf("  %-10s %s\n", id, e.Title)
 		}
+		fmt.Println("available fleet scenarios (-scenario):")
+		fmt.Println("  fleet-http 1000+ closed-loop clients against sharded server replicas")
+		fmt.Println("  incast     synchronized many-to-one fan-in over the N-host graph")
+		fmt.Println("  mixed      MPTCP foreground vs plain-TCP background traffic")
 		if *run == "" && !*list {
 			fmt.Println("\nuse -run <id> (or -run all) to execute one")
 		}
@@ -70,17 +110,68 @@ func main() {
 		}
 		results = append(results, res)
 	}
+	writeResults(*out, *format, results)
+}
 
+// runScenario dispatches one fleet scenario with CLI sizing applied.
+func runScenario(name string, seed uint64, members, shards, workers int, quick bool) (*experiments.Result, time.Duration, error) {
+	start := time.Now()
+	var res *experiments.Result
+	var err error
+	switch name {
+	case "fleet-http":
+		n, requests, size := 1000, 2, 32<<10
+		if quick {
+			n, requests, size = 64, 1, 16<<10
+		}
+		if members > 0 {
+			n = members
+		}
+		spec := fleet.DefaultHTTPSpec(seed, n, requests, size)
+		spec.Shards, spec.Workers, spec.Quick = shards, workers, quick
+		res, err = fleet.RunHTTP(spec)
+	case "incast":
+		n, block := 256, 256<<10
+		if quick {
+			n, block = 32, 128<<10
+		}
+		if members > 0 {
+			n = members
+		}
+		res, err = fleet.RunIncast(fleet.IncastSpec{
+			Seed: seed, Senders: n, BlockSize: block,
+			Shards: shards, Workers: workers, Quick: quick,
+		})
+	case "mixed":
+		n, dur := 32, 5*time.Second
+		if quick {
+			n, dur = 8, 2*time.Second
+		}
+		if members > 0 {
+			n = members
+		}
+		res, err = fleet.RunMixed(fleet.MixedSpec{
+			Seed: seed, Pairs: n, Duration: dur,
+			Shards: shards, Workers: workers, Quick: quick,
+		})
+	default:
+		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, incast or mixed)", name)
+	}
+	return res, time.Since(start), err
+}
+
+// writeResults encodes results to the -out file or stdout.
+func writeResults(out, format string, results []*experiments.Result) {
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := experiments.WriteResults(w, *format, results); err != nil {
+	if err := experiments.WriteResults(w, format, results); err != nil {
 		fail(err)
 	}
 }

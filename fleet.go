@@ -1,0 +1,150 @@
+package mptcpgo
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/fleet"
+)
+
+// ClientGroup declares a homogeneous group of closed-loop HTTP clients in a
+// Fleet: how many, what access link each gets, and what each requests. A
+// fleet concatenates its groups, so the global client index passed to Link
+// runs across group boundaries.
+type ClientGroup struct {
+	// Name labels the group's access links in traces (default "access").
+	Name string
+	// Clients is the number of clients in the group (>= 1).
+	Clients int
+	// Link derives the access link for the global client index i; nil selects
+	// the stock heterogeneous mix (2–9.5 Mbps, 10–190 ms RTT, 250 ms of
+	// buffering).
+	Link func(i int) Link
+	// Requests is each client's closed-loop request budget (default 1).
+	Requests int
+	// TransferSize is the response size each request asks for (default 64 KB).
+	TransferSize int
+	// TCPOnly runs the group over single-path TCP instead of MPTCP.
+	TCPOnly bool
+	// Config overrides the connection configuration (nil = DefaultConfig
+	// without address advertisement, or TCPConfig for TCPOnly groups).
+	Config *Config
+}
+
+// Fleet is the sharded many-connection scenario builder: a topology template
+// (per-client access links), one or more client groups, and a Run that
+// partitions the clients into shards — each shard a private simulator with
+// its own server replica — runs the shards in parallel and merges the
+// per-shard results deterministically. The merged Result is byte-identical
+// at any worker count for a fixed seed and shard count.
+type Fleet struct {
+	seed     uint64
+	groups   []ClientGroup
+	shards   int
+	workers  int
+	deadline time.Duration
+	label    string
+	server   *Config
+	err      error
+}
+
+// NewFleet starts an empty fleet whose shard seeds derive from the given
+// root seed.
+func NewFleet(seed uint64) *Fleet {
+	return &Fleet{seed: seed}
+}
+
+// Group appends a client group. Declarations chain; errors are accumulated
+// and reported by Run.
+func (f *Fleet) Group(g ClientGroup) *Fleet {
+	if g.Clients <= 0 {
+		f.fail(fmt.Errorf("mptcpgo: fleet group %q has %d clients", g.Name, g.Clients))
+		return f
+	}
+	f.groups = append(f.groups, g)
+	return f
+}
+
+// Shards fixes the shard count. The shard count is part of the scenario — it
+// decides how many clients share one server replica — so changing it changes
+// the workload; the default is one shard per 64 clients.
+func (f *Fleet) Shards(n int) *Fleet { f.shards = n; return f }
+
+// Workers bounds how many shards run in parallel (default GOMAXPROCS). The
+// worker count never changes the merged result.
+func (f *Fleet) Workers(n int) *Fleet { f.workers = n; return f }
+
+// Deadline caps each shard's simulated time (default 10 minutes).
+func (f *Fleet) Deadline(d time.Duration) *Fleet { f.deadline = d; return f }
+
+// Label overrides the result title.
+func (f *Fleet) Label(s string) *Fleet { f.label = s; return f }
+
+// ServerConfig overrides the listener configuration of every server replica.
+func (f *Fleet) ServerConfig(cfg Config) *Fleet { f.server = &cfg; return f }
+
+func (f *Fleet) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// Run resolves the groups into per-client specs, executes the sharded
+// workload and returns the merged result.
+func (f *Fleet) Run() (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	if len(f.groups) == 0 {
+		return nil, fmt.Errorf("mptcpgo: fleet has no client groups")
+	}
+	spec := fleet.HTTPSpec{
+		Seed:     f.seed,
+		Shards:   f.shards,
+		Workers:  f.workers,
+		Deadline: f.deadline,
+		Label:    f.label,
+		Server:   f.server,
+	}
+	i := 0
+	for _, g := range f.groups {
+		cfg := connConfigFor(g)
+		for j := 0; j < g.Clients; j++ {
+			c := fleet.HTTPClient{
+				Requests:     g.Requests,
+				TransferSize: g.TransferSize,
+				Conn:         cfg,
+			}
+			if g.Link != nil {
+				c.Link = g.Link(i).toPathConfig()
+			} else {
+				c.Link = fleet.DefaultAccessLink(i)
+			}
+			if g.Name != "" {
+				c.LinkName = fmt.Sprintf("%s%d", g.Name, i)
+			}
+			spec.Clients = append(spec.Clients, c)
+			i++
+		}
+	}
+	return fleet.RunHTTP(spec)
+}
+
+// connConfigFor resolves a group's connection configuration.
+func connConfigFor(g ClientGroup) Config {
+	if g.Config != nil {
+		return *g.Config
+	}
+	var cfg Config
+	if g.TCPOnly {
+		cfg = TCPConfig()
+	} else {
+		cfg = DefaultConfig()
+	}
+	// Star topologies give each client one access link; advertising the
+	// server's other addresses would only open duplicate subflows over it.
+	cfg.AdvertiseAddresses = false
+	cfg.SendBufBytes = 128 << 10
+	cfg.RecvBufBytes = 128 << 10
+	return cfg
+}

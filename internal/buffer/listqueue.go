@@ -12,6 +12,13 @@ package buffer
 //     previous one and is inserted in constant time.
 //   - AllShortcuts: when the shortcut misses, the scan iterates over batches
 //     of contiguous segments instead of individual segments.
+//
+// Node and batch structs are free-listed per queue: out-of-order segments
+// arrive once per reordering event on the hot receive path, and recycling
+// the structs (like the payload buffers they carry) keeps that path
+// allocation-free at steady state. Recycled nodes bump a generation counter
+// so stale subflow hints can never mistake a reused node for the one they
+// remembered.
 type listQueue struct {
 	head, tail *listNode
 	batches    *batchNode // first batch (ordered)
@@ -20,18 +27,27 @@ type listQueue struct {
 	useShortcuts bool
 	useBatches   bool
 
-	hints map[int]*listNode
+	hints map[int]listHint
 
 	count int
 	bytes int
 	steps uint64
+
+	// freeNodes/freeBatches recycle structs; popScratch is the reused
+	// PopContiguous result slice. All three are queue-local: queues belong to
+	// one endpoint on one simulator, so no locking is needed.
+	freeNodes   []*listNode
+	freeBatches []*batchNode
+	popScratch  []Item
 }
 
 type listNode struct {
 	it         Item
 	prev, next *listNode
 	batch      *batchNode
-	removed    bool
+	// gen counts reuses of this struct; a hint taken on an earlier life of
+	// the node no longer matches and is ignored.
+	gen uint64
 }
 
 type batchNode struct {
@@ -39,11 +55,18 @@ type batchNode struct {
 	prev, next  *batchNode
 }
 
+// listHint remembers where a subflow's previous segment was inserted, pinned
+// to the generation of the node at the time.
+type listHint struct {
+	n   *listNode
+	gen uint64
+}
+
 func newListQueue(shortcuts, batches bool) *listQueue {
 	return &listQueue{
 		useShortcuts: shortcuts,
 		useBatches:   batches,
-		hints:        make(map[int]*listNode),
+		hints:        make(map[int]listHint),
 	}
 }
 
@@ -68,17 +91,52 @@ func (q *listQueue) Bytes() int { return q.bytes }
 // Steps implements OfoQueue.
 func (q *listQueue) Steps() uint64 { return q.steps }
 
+// newNode takes a node from the free list (or allocates one) and loads it.
+func (q *listQueue) newNode(it Item) *listNode {
+	if n := len(q.freeNodes); n > 0 {
+		nd := q.freeNodes[n-1]
+		q.freeNodes = q.freeNodes[:n-1]
+		nd.it = it
+		return nd
+	}
+	return &listNode{it: it}
+}
+
+// recycleNode returns an unlinked node to the free list, invalidating any
+// hints that still reference it.
+func (q *listQueue) recycleNode(n *listNode) {
+	n.gen++
+	n.it = Item{}
+	n.prev, n.next, n.batch = nil, nil, nil
+	q.freeNodes = append(q.freeNodes, n)
+}
+
+// newBatch takes a batch from the free list (or allocates one).
+func (q *listQueue) newBatch(first, last *listNode) *batchNode {
+	if n := len(q.freeBatches); n > 0 {
+		b := q.freeBatches[n-1]
+		q.freeBatches = q.freeBatches[:n-1]
+		b.first, b.last = first, last
+		return b
+	}
+	return &batchNode{first: first, last: last}
+}
+
 // Insert implements OfoQueue.
 func (q *listQueue) Insert(it Item) int {
-	steps := 0
-	defer func() { q.steps += uint64(steps) }()
+	steps := q.insert(it)
+	q.steps += uint64(steps)
+	return steps
+}
 
+func (q *listQueue) insert(it Item) (steps int) {
 	// 1. Locate the node after which the item belongs (nil = before head).
 	var after *listNode
 	located := false
 
 	if q.useShortcuts {
-		if hint, ok := q.hints[it.Subflow]; ok && hint != nil && !hint.removed {
+		if h, ok := q.hints[it.Subflow]; ok && h.n != nil && h.n.gen == h.gen {
+			hint := h.n
 			steps++
 			if hint.it.End() == it.Seq && (hint.next == nil || it.End() <= hint.next.it.Seq) {
 				after = hint
@@ -115,12 +173,12 @@ func (q *listQueue) Insert(it Item) int {
 
 	// 3. Splice in the new node, adopting a pool-owned copy of the payload.
 	adoptItemData(&it)
-	n := &listNode{it: it}
+	n := q.newNode(it)
 	q.insertAfter(after, n)
 	q.count++
 	q.bytes += len(it.Data)
 	if q.useShortcuts {
-		q.hints[it.Subflow] = n
+		q.hints[it.Subflow] = listHint{n: n, gen: n.gen}
 	}
 	q.attachBatch(n)
 	return steps
@@ -228,7 +286,7 @@ func (q *listQueue) attachBatch(n *listNode) {
 		}
 	default:
 		// New standalone batch between the neighbours' batches.
-		b := &batchNode{first: n, last: n}
+		b := q.newBatch(n, n)
 		n.batch = b
 		var prevBatch *batchNode
 		if n.prev != nil {
@@ -260,6 +318,7 @@ func (q *listQueue) insertBatchAfter(after, b *batchNode) {
 	after.next = b
 }
 
+// removeBatch unlinks a batch and returns the struct to the free list.
 func (q *listQueue) removeBatch(b *batchNode) {
 	if b.prev != nil {
 		b.prev.next = b.next
@@ -271,8 +330,13 @@ func (q *listQueue) removeBatch(b *batchNode) {
 	} else {
 		q.lastBatch = b.prev
 	}
+	b.first, b.last, b.prev, b.next = nil, nil, nil, nil
+	q.freeBatches = append(q.freeBatches, b)
 }
 
+// removeNode unlinks a node (updating counters and batch bookkeeping with the
+// item still attached) and recycles the struct. The caller must copy n.it
+// first if it still needs the item.
 func (q *listQueue) removeNode(n *listNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
@@ -284,7 +348,6 @@ func (q *listQueue) removeNode(n *listNode) {
 	} else {
 		q.tail = n.prev
 	}
-	n.removed = true
 	q.count--
 	q.bytes -= len(n.it.Data)
 
@@ -299,16 +362,19 @@ func (q *listQueue) removeNode(n *listNode) {
 			b.last = n.prev
 		}
 	}
+	q.recycleNode(n)
 }
 
-// PopContiguous implements OfoQueue.
+// PopContiguous implements OfoQueue. The returned slice is reused by the
+// next PopContiguous call on this queue.
 func (q *listQueue) PopContiguous(nextSeq uint64) []Item {
-	var out []Item
+	out := q.popScratch[:0]
 	for q.head != nil {
 		n := q.head
 		if n.it.End() <= nextSeq {
-			discardItemData(&n.it)
+			it := n.it
 			q.removeNode(n)
+			discardItemData(&it)
 			continue
 		}
 		if n.it.Seq > nextSeq {
@@ -317,10 +383,12 @@ func (q *listQueue) PopContiguous(nextSeq uint64) []Item {
 		it := n.it
 		q.removeNode(n)
 		if !trimItem(&it, nextSeq) {
+			discardItemData(&it)
 			continue
 		}
 		out = append(out, it)
 		nextSeq = it.End()
 	}
+	q.popScratch = out
 	return out
 }

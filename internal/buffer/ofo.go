@@ -33,7 +33,10 @@ type OfoQueue interface {
 	// PopContiguous removes and returns the maximal run of items that starts
 	// exactly at nextSeq, in order. Items entirely below nextSeq are
 	// discarded. Ownership of each returned item's Data passes to the
-	// caller, which should pool.Recycle it once consumed.
+	// caller, which should pool.Recycle it once consumed. The returned slice
+	// itself stays owned by the queue and is reused by the next
+	// PopContiguous call: consume (or copy) it before touching the queue
+	// again.
 	PopContiguous(nextSeq uint64) []Item
 	// Len returns the number of queued items.
 	Len() int

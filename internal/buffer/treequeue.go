@@ -5,6 +5,8 @@ package buffer
 // data sequence number. Insertion is logarithmic in the queue length, which
 // is cheaper than the Regular linear scan but still slower than the Shortcuts
 // variants for the common in-batch arrival pattern.
+// Tree nodes are free-listed per queue (like the list queue's nodes) so
+// steady-state insert/pop cycles do not allocate.
 type treeQueue struct {
 	root  *treeNode
 	count int
@@ -12,6 +14,9 @@ type treeQueue struct {
 	steps uint64
 	// prioState drives the deterministic priority sequence.
 	prioState uint64
+
+	freeNodes  []*treeNode
+	popScratch []Item
 }
 
 type treeNode struct {
@@ -67,11 +72,29 @@ func (q *treeQueue) Insert(it Item) int {
 	}
 
 	adoptItemData(&it)
-	q.root = q.insertNode(q.root, &treeNode{it: it, prio: q.nextPrio()}, &steps)
+	q.root = q.insertNode(q.root, q.newNode(it, q.nextPrio()), &steps)
 	q.count++
 	q.bytes += len(it.Data)
 	q.steps += uint64(steps)
 	return steps
+}
+
+// newNode takes a node from the free list (or allocates one) and loads it.
+func (q *treeQueue) newNode(it Item, prio uint64) *treeNode {
+	if n := len(q.freeNodes); n > 0 {
+		nd := q.freeNodes[n-1]
+		q.freeNodes = q.freeNodes[:n-1]
+		nd.it, nd.prio = it, prio
+		return nd
+	}
+	return &treeNode{it: it, prio: prio}
+}
+
+// recycleNode returns a detached node to the free list.
+func (q *treeQueue) recycleNode(n *treeNode) {
+	n.it = Item{}
+	n.left, n.right = nil, nil
+	q.freeNodes = append(q.freeNodes, n)
 }
 
 // floor returns the node with the largest Seq <= seq.
@@ -172,17 +195,22 @@ func (q *treeQueue) peekMin() *treeNode {
 	return n
 }
 
-// PopContiguous implements OfoQueue.
+// PopContiguous implements OfoQueue. The returned slice is reused by the
+// next PopContiguous call on this queue.
 func (q *treeQueue) PopContiguous(nextSeq uint64) []Item {
-	var out []Item
+	out := q.popScratch[:0]
 	for {
 		min := q.peekMin()
 		if min == nil {
 			break
 		}
 		if min.it.End() <= nextSeq {
-			discardItemData(&min.it)
-			q.popMin()
+			// Pop (with the item still attached, so byte accounting sees its
+			// length), then recycle buffer and node.
+			n := q.popMin()
+			it := n.it
+			q.recycleNode(n)
+			discardItemData(&it)
 			continue
 		}
 		if min.it.Seq > nextSeq {
@@ -190,11 +218,14 @@ func (q *treeQueue) PopContiguous(nextSeq uint64) []Item {
 		}
 		n := q.popMin()
 		it := n.it
+		q.recycleNode(n)
 		if !trimItem(&it, nextSeq) {
+			discardItemData(&it)
 			continue
 		}
 		out = append(out, it)
 		nextSeq = it.End()
 	}
+	q.popScratch = out
 	return out
 }

@@ -16,11 +16,22 @@ import (
 // the points are scheduled across workers. Errors are reported from the
 // lowest-indexed failing point so output stays deterministic too.
 func Sweep[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return SweepWorkers(n, 0, fn)
+}
+
+// SweepWorkers is Sweep with an explicit worker count: fn(i) runs for every i
+// in [0, n) across up to workers goroutines (0 means GOMAXPROCS) and results
+// come back in index order. The fleet engine uses it to scale shard execution
+// independently of GOMAXPROCS; results must not depend on the worker count,
+// which holds whenever every point is self-contained.
+func SweepWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,146 @@
+// Package fleet is the sharded scenario engine for thousand-connection
+// workloads: it partitions a many-member workload (closed-loop HTTP clients,
+// incast senders, MPTCP/TCP traffic pairs) into independent shards, runs the
+// shards in parallel across a worker pool, and merges the per-shard results
+// deterministically.
+//
+// Each shard owns a private sim.Simulator, its own netem graph (built from an
+// immutable spec slice) and one core.Manager per shard host; shards share
+// nothing mutable — only the spec they were derived from and the
+// concurrency-safe buffer pools. A shard's RNG seed is derived from the root
+// seed and the shard index alone (sim.DeriveSeed), and merging walks shards
+// in index order, so the merged output is byte-identical at any worker count.
+// The shard count, by contrast, is part of the scenario: it decides how the
+// workload is partitioned (how many clients share one server replica), the
+// same way the machine count does in a real fleet.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/sim"
+)
+
+// DefaultMembersPerShard sizes the default partition: one shard per 64
+// workload members, which keeps per-shard simulations small enough to
+// overlap well while leaving each server replica a meaningful concurrent
+// load.
+const DefaultMembersPerShard = 64
+
+// DefaultDeadline bounds a shard's simulated time when the workload has a
+// completion condition (all requests served, all blocks transferred).
+const DefaultDeadline = 10 * time.Minute
+
+// Shard is the per-shard execution context handed to a scenario's shard
+// function: the global member range the shard owns, its derived seed, and —
+// after Materialize — the shard-private simulator, network and MPTCP stacks.
+type Shard struct {
+	// Index and Count identify the shard within the fleet.
+	Index, Count int
+	// Seed is the shard's RNG seed, derived from the root seed and Index.
+	Seed uint64
+	// Lo and Hi delimit the global member indices [Lo, Hi) this shard owns.
+	Lo, Hi int
+
+	// Sim, Net and Managers are the shard-private runtime, populated by
+	// Materialize. Nothing in them is shared with other shards.
+	Sim      *sim.Simulator
+	Net      *netem.Network
+	Managers map[string]*core.Manager
+}
+
+// Members returns the number of workload members the shard owns.
+func (sh *Shard) Members() int { return sh.Hi - sh.Lo }
+
+// Materialize builds the shard's private runtime from a graph spec: a fresh
+// simulator seeded with the shard seed, the emulated network, and one MPTCP
+// stack per host.
+func (sh *Shard) Materialize(spec netem.GraphSpec) error {
+	sh.Sim = sim.New(sh.Seed)
+	n, err := netem.BuildGraph(sh.Sim, spec)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: %w", sh.Index, err)
+	}
+	sh.Net = n
+	sh.Managers = make(map[string]*core.Manager, len(n.Hosts))
+	for _, h := range n.Hosts {
+		sh.Managers[h.Name()] = core.NewManager(h)
+	}
+	return nil
+}
+
+// Manager returns the MPTCP stack of the named shard host, or nil.
+func (sh *Shard) Manager(host string) *core.Manager { return sh.Managers[host] }
+
+// StepUntil steps the shard's simulator until done reports true, the event
+// queue drains, or the simulated deadline passes — whichever comes first.
+// Scenario shard functions use it with a completion counter so a shard stops
+// the moment its last member finishes instead of idling to the deadline.
+func (sh *Shard) StepUntil(deadline time.Duration, done func() bool) {
+	s := sh.Sim
+	for !done() && s.Now() < deadline && s.Step() {
+	}
+}
+
+// plan normalizes a (members, shards) request: shards defaults to one per
+// DefaultMembersPerShard members and is clamped to [1, members].
+func plan(members, shards int) (int, error) {
+	if members <= 0 {
+		return 0, fmt.Errorf("fleet: workload has no members")
+	}
+	if shards <= 0 {
+		shards = (members + DefaultMembersPerShard - 1) / DefaultMembersPerShard
+	}
+	if shards > members {
+		shards = members
+	}
+	return shards, nil
+}
+
+// MakeShards partitions members workload items into count contiguous shards
+// (balanced: the first members%count shards hold one extra item) and derives
+// each shard's seed from the root seed. count <= 0 selects the default
+// partition. The descriptors depend only on (root, members, count).
+func MakeShards(root uint64, members, count int) ([]Shard, error) {
+	count, err := plan(members, count)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]Shard, count)
+	base, extra := members/count, members%count
+	lo := 0
+	for i := range shards {
+		n := base
+		if i < extra {
+			n++
+		}
+		shards[i] = Shard{
+			Index: i,
+			Count: count,
+			Seed:  sim.DeriveSeed(root, uint64(i)),
+			Lo:    lo,
+			Hi:    lo + n,
+		}
+		lo += n
+	}
+	return shards, nil
+}
+
+// Run partitions members items across shards (0 = default partition), runs fn
+// for every shard on up to workers goroutines (0 = GOMAXPROCS) and returns the
+// per-shard outputs in shard-index order. fn must treat everything outside its
+// Shard as immutable; under that contract the outputs — and anything merged
+// from them in shard order — are identical at any worker count.
+func Run[T any](root uint64, members, shards, workers int, fn func(sh *Shard) (T, error)) ([]T, error) {
+	descs, err := MakeShards(root, members, shards)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.SweepWorkers(len(descs), workers, func(i int) (T, error) {
+		return fn(&descs[i])
+	})
+}

@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/httpsim"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/trace"
+)
+
+// HTTPClient is the resolved spec of one closed-loop client in an HTTP
+// fleet: its access link, its request budget and its connection
+// configuration. Specs are immutable once RunHTTP starts; shards read them
+// concurrently.
+type HTTPClient struct {
+	// LinkName labels the client's access link in traces; defaults to
+	// "access<i>".
+	LinkName string
+	// Link configures the client's access link (both directions mirrored when
+	// BA is zero).
+	Link netem.PathConfig
+	// Requests is the client's closed-loop request budget (>= 1).
+	Requests int
+	// TransferSize is the response size the client requests.
+	TransferSize int
+	// Conn is the client's connection configuration.
+	Conn core.Config
+}
+
+// HTTPSpec describes a fleet-http run: a pool of closed-loop clients, each on
+// its own access link to a server, partitioned into shards that each own a
+// server replica plus the shard's client hosts.
+type HTTPSpec struct {
+	// Seed is the root RNG seed; every shard derives its own seed from it.
+	Seed uint64
+	// Shards partitions the clients (0 = one shard per DefaultMembersPerShard
+	// clients). The shard count is part of the scenario; the worker count is
+	// not.
+	Shards int
+	// Workers bounds the parallel shard executions (0 = GOMAXPROCS).
+	Workers int
+	// Deadline caps each shard's simulated time (default DefaultDeadline).
+	Deadline time.Duration
+	// Clients lists the resolved per-client specs; the global client index is
+	// the position in this slice.
+	Clients []HTTPClient
+	// Server is the listener configuration of every server replica (nil =
+	// MPTCP-enabled default without address advertisement).
+	Server *core.Config
+	// Label overrides the result title.
+	Label string
+	// Quick is recorded in the result metadata.
+	Quick bool
+}
+
+// DefaultAccessLink derives the deterministic heterogeneous access link used
+// by the stock fleet-http workload for global client index i: rates from 2 to
+// 9.5 Mbps, RTTs from 10 to 190 ms, and ~250 ms of buffering — the
+// manyclients example's link mix.
+func DefaultAccessLink(i int) netem.PathConfig {
+	rate := netem.Mbps(2 + 0.5*float64(i%16))
+	return netem.SymmetricPath(rate,
+		time.Duration(5+10*(i%10))*time.Millisecond,
+		int(float64(rate)/8*0.250), 0)
+}
+
+// DefaultHTTPSpec builds the stock fleet-http workload: clients closed-loop
+// clients on heterogeneous access links, requests MPTCP requests each for
+// size-byte responses.
+func DefaultHTTPSpec(seed uint64, clients, requests, size int) HTTPSpec {
+	conn := core.DefaultConfig()
+	// One access link per client: nothing useful for the server to advertise
+	// back, and per-client buffers can stay modest.
+	conn.AdvertiseAddresses = false
+	conn.SendBufBytes = 128 << 10
+	conn.RecvBufBytes = 128 << 10
+	specs := make([]HTTPClient, clients)
+	for i := range specs {
+		specs[i] = HTTPClient{
+			Link:         DefaultAccessLink(i),
+			Requests:     requests,
+			TransferSize: size,
+			Conn:         conn,
+		}
+	}
+	return HTTPSpec{Seed: seed, Clients: specs}
+}
+
+func (s HTTPSpec) withDefaults() HTTPSpec {
+	if s.Deadline <= 0 {
+		s.Deadline = DefaultDeadline
+	}
+	if s.Server == nil {
+		srv := core.DefaultConfig()
+		srv.AdvertiseAddresses = false
+		s.Server = &srv
+	}
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		if c.Requests <= 0 {
+			c.Requests = 1
+		}
+		if c.TransferSize <= 0 {
+			c.TransferSize = 64 << 10
+		}
+	}
+	return s
+}
+
+// httpShardOut is one shard's contribution to the merged result.
+type httpShardOut struct {
+	clients int
+	merge   PoolMerge
+	events  uint64
+}
+
+// clientHostName names the global client i's host; zero-padding keeps names
+// aligned in traces regardless of fleet size.
+func clientHostName(i int) string { return fmt.Sprintf("c%05d", i) }
+
+// RunHTTP executes the fleet-http scenario and returns the merged result.
+// The merged output is byte-identical at any worker count for a fixed
+// (seed, clients, shards).
+func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
+	spec = spec.withDefaults()
+	outs, err := Run(spec.Seed, len(spec.Clients), spec.Shards, spec.Workers, func(sh *Shard) (httpShardOut, error) {
+		return runHTTPShard(&spec, sh)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	title := spec.Label
+	if title == "" {
+		title = "sharded closed-loop HTTP server workload"
+	}
+	res := &experiments.Result{ID: "fleet-http", Title: title, Seed: spec.Seed, Quick: spec.Quick}
+
+	table := experiments.NewTable(
+		fmt.Sprintf("%d closed-loop clients across %d shards", len(spec.Clients), len(outs)),
+		"shard", "clients", "completed", "failed", "req/s", "mean ms", "p95 ms", "MB", "events")
+	var total PoolMerge
+	var totalEvents uint64
+	rps := make([]float64, len(outs))
+	p95 := make([]float64, len(outs))
+	for i, out := range outs {
+		r := out.merge.Result()
+		rps[i] = r.RequestsPerSec
+		p95[i] = trace.Percentile(out.merge.Samples, 95)
+		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.clients),
+			fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%.1f", r.RequestsPerSec), fmtMs(r.MeanLatency), fmtMs(r.P95Latency),
+			fmtMB(r.BytesReceived), fmt.Sprintf("%d", out.events))
+		total.Merge(out.merge)
+		totalEvents += out.events
+	}
+	tr := total.Result()
+	table.AddRow("all", fmt.Sprintf("%d", len(spec.Clients)),
+		fmt.Sprintf("%d", tr.Completed), fmt.Sprintf("%d", tr.Failed),
+		fmt.Sprintf("%.1f", tr.RequestsPerSec), fmtMs(tr.MeanLatency), fmtMs(tr.P95Latency),
+		fmtMB(tr.BytesReceived), fmt.Sprintf("%d", totalEvents))
+	res.AddTable(table)
+	res.AddSeries(ShardSeries("req/s", "req/s", rps))
+	res.AddSeries(ShardSeries("latency p95", "ms", p95))
+	return res, nil
+}
+
+// runHTTPShard builds and runs one shard: a server replica plus the shard's
+// client hosts, one single-client closed-loop pool per client host.
+func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
+	g := netem.GraphSpec{}
+	g.AddHost("server")
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		c := &spec.Clients[gi]
+		name := c.LinkName
+		if name == "" {
+			name = fmt.Sprintf("access%d", gi)
+		}
+		g.AddLink(netem.LinkSpec{Name: name, A: clientHostName(gi), B: "server", Config: c.Link})
+	}
+	if err := sh.Materialize(g); err != nil {
+		return httpShardOut{}, err
+	}
+
+	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
+		return httpShardOut{}, err
+	}
+
+	remaining := sh.Members()
+	pools := make([]*httpsim.ClientPool, 0, sh.Members())
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		c := &spec.Clients[gi]
+		mgr := sh.Manager(clientHostName(gi))
+		iface := mgr.Host().Interfaces()[0]
+		pool, err := httpsim.NewClientPool(mgr, httpsim.ClientPoolConfig{
+			Clients:       1,
+			TotalRequests: c.Requests,
+			TransferSize:  c.TransferSize,
+			ServerAddr:    iface.Path().Peer(iface).Addr(),
+			ServerPort:    80,
+			Conn:          c.Conn,
+			Iface:         iface,
+			OnDone:        func() { remaining-- },
+		})
+		if err != nil {
+			return httpShardOut{}, fmt.Errorf("fleet: shard %d client %d: %w", sh.Index, gi, err)
+		}
+		pools = append(pools, pool)
+		// Stagger starts by global index so the fleet-wide handshake herd is
+		// spread out the same way regardless of the partition.
+		sh.Sim.Schedule(time.Duration(gi%97)*127*time.Microsecond, pool.Start)
+	}
+
+	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
+
+	out := httpShardOut{clients: sh.Members(), events: sh.Sim.Processed}
+	for _, p := range pools {
+		out.merge.Add(p.Result(), p.LatencySamples())
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/trace"
+)
+
+// IncastSpec describes the incast/fan-in scenario: many synchronized senders
+// each push one fixed-size block to a single aggregator over the N-host star
+// graph, the barrier-synchronized partition/aggregate pattern of datacenter
+// storage and MapReduce shuffles. Shards partition the senders; each shard
+// owns an aggregator replica.
+type IncastSpec struct {
+	// Seed is the root RNG seed.
+	Seed uint64
+	// Senders is the total number of senders.
+	Senders int
+	// BlockSize is the bytes each sender transfers (default 256 KB).
+	BlockSize int
+	// Shards partitions the senders (0 = default partition); Workers bounds
+	// parallel shard execution (0 = GOMAXPROCS).
+	Shards, Workers int
+	// Link configures each sender's access link to the aggregator; zero
+	// selects a gigabit link with a shallow 64 KB queue.
+	Link netem.PathConfig
+	// Conn is the sender connection configuration; nil selects single-path
+	// TCP (one link per sender, so multipath adds nothing).
+	Conn *core.Config
+	// Deadline caps each shard's simulated time (default DefaultDeadline).
+	Deadline time.Duration
+	// Label overrides the result title; Quick is recorded in the metadata.
+	Label string
+	Quick bool
+}
+
+func (s IncastSpec) withDefaults() IncastSpec {
+	if s.BlockSize <= 0 {
+		s.BlockSize = 256 << 10
+	}
+	if s.Link == (netem.PathConfig{}) {
+		s.Link = netem.SymmetricPath(netem.Gbps(1), 100*time.Microsecond, 64<<10, 0)
+	}
+	if s.Conn == nil {
+		conn := core.TCPOnlyConfig()
+		conn.SendBufBytes = 256 << 10
+		conn.RecvBufBytes = 256 << 10
+		s.Conn = &conn
+	}
+	if s.Deadline <= 0 {
+		s.Deadline = DefaultDeadline
+	}
+	return s
+}
+
+// incastShardOut is one shard's contribution: per-sender completion times (ms,
+// sender order), received bytes and the shard's event count.
+type incastShardOut struct {
+	senders     int
+	finished    int
+	failed      int
+	bytes       uint64
+	completions []float64
+	events      uint64
+}
+
+// RunIncast executes the incast scenario and returns the merged result.
+func RunIncast(spec IncastSpec) (*experiments.Result, error) {
+	spec = spec.withDefaults()
+	outs, err := Run(spec.Seed, spec.Senders, spec.Shards, spec.Workers, func(sh *Shard) (incastShardOut, error) {
+		return runIncastShard(&spec, sh)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	title := spec.Label
+	if title == "" {
+		title = "synchronized fan-in to one aggregator"
+	}
+	res := &experiments.Result{ID: "incast", Title: title, Seed: spec.Seed, Quick: spec.Quick}
+
+	table := experiments.NewTable(
+		fmt.Sprintf("%d senders × %s blocks across %d shards", spec.Senders, fmtMB(uint64(spec.BlockSize))+"MB", len(outs)),
+		"shard", "senders", "finished", "failed", "MB", "slowest ms", "p95 ms", "goodput Mbps", "events")
+	var all incastShardOut
+	var allCompletions []float64
+	slowest := make([]float64, len(outs))
+	goodput := make([]float64, len(outs))
+	for i, out := range outs {
+		slowest[i] = trace.Max(out.completions)
+		goodput[i] = shardGoodputMbps(out.bytes, slowest[i])
+		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.senders),
+			fmt.Sprintf("%d", out.finished), fmt.Sprintf("%d", out.failed),
+			fmtMB(out.bytes), fmt.Sprintf("%.2f", slowest[i]),
+			fmt.Sprintf("%.2f", trace.Percentile(out.completions, 95)),
+			fmt.Sprintf("%.1f", goodput[i]), fmt.Sprintf("%d", out.events))
+		all.finished += out.finished
+		all.failed += out.failed
+		all.bytes += out.bytes
+		all.events += out.events
+		allCompletions = append(allCompletions, out.completions...)
+	}
+	worst := trace.Max(allCompletions)
+	table.AddRow("all", fmt.Sprintf("%d", spec.Senders),
+		fmt.Sprintf("%d", all.finished), fmt.Sprintf("%d", all.failed),
+		fmtMB(all.bytes), fmt.Sprintf("%.2f", worst),
+		fmt.Sprintf("%.2f", trace.Percentile(allCompletions, 95)),
+		fmt.Sprintf("%.1f", shardGoodputMbps(all.bytes, worst)), fmt.Sprintf("%d", all.events))
+	table.AddNote("completion time is per-sender block transfer time; fleet goodput divides total bytes by the slowest completion (the fan-in barrier)")
+	res.AddTable(table)
+	res.AddSeries(ShardSeries("slowest completion", "ms", slowest))
+	res.AddSeries(ShardSeries("aggregate goodput", "Mbps", goodput))
+	return res, nil
+}
+
+// shardGoodputMbps is bytes transferred over the barrier window in Mbps.
+func shardGoodputMbps(bytes uint64, slowestMs float64) float64 {
+	if slowestMs <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (slowestMs / 1e3) / 1e6
+}
+
+func senderHostName(i int) string { return fmt.Sprintf("s%05d", i) }
+
+// runIncastShard builds one aggregator replica plus the shard's senders and
+// runs the synchronized fan-in to completion.
+func runIncastShard(spec *IncastSpec, sh *Shard) (incastShardOut, error) {
+	g := netem.GraphSpec{}
+	g.AddHost("agg")
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		g.AddLink(netem.LinkSpec{
+			Name: fmt.Sprintf("fanin%d", gi),
+			A:    senderHostName(gi), B: "agg", Config: spec.Link,
+		})
+	}
+	if err := sh.Materialize(g); err != nil {
+		return incastShardOut{}, err
+	}
+
+	out := incastShardOut{senders: sh.Members()}
+	remaining := sh.Members()
+
+	// The aggregator drains every connection; a sender's block counts as
+	// complete the moment its last byte is delivered in order (the metric
+	// incast cares about — not the later close handshake).
+	aggCfg := *spec.Conn
+	aggCfg.EnableMPTCP = true // accept MPTCP and plain-TCP senders alike
+	if _, err := sh.Manager("agg").Listen(80, aggCfg, func(c *core.Connection) {
+		received := 0
+		completed := false
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				received += len(data)
+				out.bytes += uint64(len(data))
+			}
+			if !completed && received >= spec.BlockSize {
+				completed = true
+				out.finished++
+				out.completions = append(out.completions, float64(sh.Sim.Now())/float64(time.Millisecond))
+				remaining--
+			}
+			if c.EOF() {
+				c.Close()
+			}
+		}
+	}); err != nil {
+		return incastShardOut{}, err
+	}
+	payload := make([]byte, 32<<10)
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		mgr := sh.Manager(senderHostName(gi))
+		iface := mgr.Host().Interfaces()[0]
+		conn, err := mgr.Dial(iface, packet.Endpoint{Addr: iface.Path().Peer(iface).Addr(), Port: 80}, *spec.Conn)
+		if err != nil {
+			return incastShardOut{}, fmt.Errorf("fleet: shard %d sender %d: %w", sh.Index, gi, err)
+		}
+		written := 0
+		pump := func() {
+			for written < spec.BlockSize {
+				n := len(payload)
+				if n > spec.BlockSize-written {
+					n = spec.BlockSize - written
+				}
+				w := conn.Write(payload[:n])
+				if w == 0 {
+					return
+				}
+				written += w
+			}
+			conn.Close() // block fully queued: end the stream (DATA_FIN/FIN)
+		}
+		conn.OnEstablished = pump
+		conn.OnWritable = pump
+	}
+
+	// All senders start at t=0: the fan-in is barrier-synchronized, which is
+	// exactly what makes incast hard.
+	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
+	out.failed = out.senders - out.finished // blocks still incomplete at the deadline
+	out.events = sh.Sim.Processed
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/httpsim"
+	"mptcpgo/internal/trace"
+)
+
+// PoolMerge folds httpsim.PoolResults (and their latency traces) into one
+// aggregate. Merging is deterministic as long as Add is called in a stable
+// order — the engine always merges pools in member order within a shard and
+// shards in index order.
+type PoolMerge struct {
+	Completed int
+	Failed    int
+	Bytes     uint64
+	// Duration is the longest member window; with shards running concurrently
+	// in the emulated fleet, the slowest member bounds the fleet wall-clock.
+	Duration time.Duration
+	// Samples holds the merged per-request latencies (milliseconds) in merge
+	// order.
+	Samples []float64
+}
+
+// Add folds one pool result and its latency samples into the aggregate.
+func (m *PoolMerge) Add(r httpsim.PoolResult, samples []float64) {
+	m.Completed += r.Completed
+	m.Failed += r.Failed
+	m.Bytes += r.BytesReceived
+	if r.Duration > m.Duration {
+		m.Duration = r.Duration
+	}
+	m.Samples = append(m.Samples, samples...)
+}
+
+// Merge folds another aggregate (typically one shard's) into this one,
+// preserving the raw samples so fleet-level percentiles weight requests, not
+// shards.
+func (m *PoolMerge) Merge(other PoolMerge) {
+	m.Completed += other.Completed
+	m.Failed += other.Failed
+	m.Bytes += other.Bytes
+	if other.Duration > m.Duration {
+		m.Duration = other.Duration
+	}
+	m.Samples = append(m.Samples, other.Samples...)
+}
+
+// Result renders the aggregate as a PoolResult: counts and bytes are sums,
+// the rate uses the merged window, and the latency statistics are recomputed
+// from the merged samples (not averaged from per-shard statistics, which
+// would weight shards instead of requests).
+func (m *PoolMerge) Result() httpsim.PoolResult {
+	res := httpsim.PoolResult{
+		Completed:     m.Completed,
+		Failed:        m.Failed,
+		Duration:      m.Duration,
+		BytesReceived: m.Bytes,
+	}
+	if m.Duration > 0 {
+		res.RequestsPerSec = float64(m.Completed) / m.Duration.Seconds()
+	}
+	if len(m.Samples) > 0 {
+		res.MeanLatency = time.Duration(trace.Mean(m.Samples) * float64(time.Millisecond))
+		res.P95Latency = time.Duration(trace.Percentile(m.Samples, 95) * float64(time.Millisecond))
+	}
+	return res
+}
+
+// ShardSeries builds a numeric series indexed by shard: X is the shard index,
+// Y the per-shard value in shard order.
+func ShardSeries(name, unit string, y []float64) experiments.Series {
+	x := make([]float64, len(y))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return experiments.Series{Name: name, Unit: unit, XLabel: "shard", X: x, Y: y}
+}
+
+// fmtMs renders a duration as milliseconds with fixed precision, for table
+// cells that must stay byte-stable across runs.
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// fmtMB renders a byte count as megabytes with fixed precision.
+func fmtMB(n uint64) string {
+	return fmt.Sprintf("%.2f", float64(n)/(1<<20))
+}

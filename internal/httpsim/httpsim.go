@@ -117,6 +117,10 @@ type ClientPoolConfig struct {
 	Conn core.Config
 	// Iface is the client interface to dial from.
 	Iface *netem.Interface
+	// OnDone, if set, is invoked exactly once when TotalRequests have
+	// completed (or failed). Sharded drivers use it to stop stepping the
+	// shard's simulator as soon as its last pool finishes.
+	OnDone func()
 }
 
 // PoolResult summarises a benchmark run.
@@ -142,6 +146,11 @@ type ClientPool struct {
 	bytes     uint64
 	latency   *trace.Sampler
 	stopped   bool
+	// finishedAt records when the TotalRequests-th request completed, so
+	// Result measures the actual benchmark window rather than however far the
+	// caller happened to run the simulator afterwards.
+	finishedAt time.Duration
+	doneFired  bool
 }
 
 // NewClientPool creates a pool bound to the client's manager.
@@ -193,6 +202,11 @@ func (p *ClientPool) issueRequest() {
 	conn, err := p.mgr.Dial(p.cfg.Iface, packet.Endpoint{Addr: p.cfg.ServerAddr, Port: p.cfg.ServerPort}, p.cfg.Conn)
 	if err != nil {
 		p.failed++
+		p.noteProgress() // a dial failure can be the budget-exhausting event
+		// Stay closed-loop like finish() does, but back off a little: a
+		// synchronous dial failure rescheduled at delay 0 would spin the
+		// event queue without advancing simulated time.
+		p.sim.Schedule(time.Millisecond, p.issueRequest)
 		return
 	}
 
@@ -203,6 +217,13 @@ func (p *ClientPool) issueRequest() {
 			return
 		}
 		done = true
+		if p.doneFired {
+			// The request budget was reached while this request was still in
+			// flight: it falls outside the measurement window and is not
+			// counted, so Completed never exceeds TotalRequests and the
+			// (count, window) pair stays consistent.
+			return
+		}
 		if ok {
 			p.completed++
 			p.bytes += uint64(received)
@@ -210,6 +231,7 @@ func (p *ClientPool) issueRequest() {
 		} else {
 			p.failed++
 		}
+		p.noteProgress()
 		// Closed loop: immediately issue the next request.
 		p.sim.Schedule(0, p.issueRequest)
 	}
@@ -237,9 +259,38 @@ func (p *ClientPool) issueRequest() {
 	}
 }
 
-// Result returns the benchmark summary as of the current simulation time.
+// noteProgress records the completion time of the final request and fires
+// the OnDone hook once the configured request budget is exhausted.
+func (p *ClientPool) noteProgress() {
+	if p.cfg.TotalRequests <= 0 || p.completed+p.failed < p.cfg.TotalRequests || p.doneFired {
+		return
+	}
+	p.doneFired = true
+	p.finishedAt = p.sim.Now()
+	if p.cfg.OnDone != nil {
+		p.cfg.OnDone()
+	}
+}
+
+// Done reports whether the pool has exhausted its TotalRequests budget (always
+// false for deadline-bounded pools with TotalRequests == 0).
+func (p *ClientPool) Done() bool { return p.doneFired }
+
+// LatencySamples returns the per-request latencies in milliseconds, in
+// completion order. The slice is owned by the pool; callers that outlive it
+// must copy.
+func (p *ClientPool) LatencySamples() []float64 { return p.latency.Samples() }
+
+// Result returns the benchmark summary as of the current simulation time. For
+// pools with a TotalRequests budget that has been reached, the measurement
+// window ends when the final request completed, not at the (possibly much
+// later) time the simulator stopped.
 func (p *ClientPool) Result() PoolResult {
-	dur := p.sim.Now() - p.started
+	end := p.sim.Now()
+	if p.doneFired {
+		end = p.finishedAt
+	}
+	dur := end - p.started
 	res := PoolResult{
 		Completed:     p.completed,
 		Failed:        p.failed,

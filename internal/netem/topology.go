@@ -62,6 +62,36 @@ type GraphSpec struct {
 	Hosts []string
 	// Links lists the point-to-point paths between hosts.
 	Links []LinkSpec
+
+	// hostSet indexes Hosts for AddHost's duplicate check (lazily built, and
+	// seeded from a literal-initialized Hosts slice on first use), keeping
+	// programmatic construction of thousand-host graphs linear.
+	hostSet map[string]bool
+}
+
+// AddHost declares a host in the spec (idempotent: a name already declared is
+// not duplicated) and returns the spec for chaining. Programmatic topology
+// generators — the fleet shard builders — use it together with AddLink.
+func (g *GraphSpec) AddHost(name string) *GraphSpec {
+	if g.hostSet == nil {
+		g.hostSet = make(map[string]bool, len(g.Hosts)+1)
+		for _, h := range g.Hosts {
+			g.hostSet[h] = true
+		}
+	}
+	if !g.hostSet[name] {
+		g.hostSet[name] = true
+		g.Hosts = append(g.Hosts, name)
+	}
+	return g
+}
+
+// AddLink appends a link (declaring its endpoint hosts if needed) and returns
+// the link's index, which determines its 10.x.y.0/24 subnet.
+func (g *GraphSpec) AddLink(l LinkSpec) int {
+	g.AddHost(l.A).AddHost(l.B)
+	g.Links = append(g.Links, l)
+	return len(g.Links) - 1
 }
 
 // linkAddrs returns the interface addresses for the i-th link: the A side

@@ -296,6 +296,18 @@ func (t *Timer) ExpiresAt() time.Duration {
 	return t.ev.At
 }
 
+// DeriveSeed deterministically derives an independent child seed from a root
+// seed and a stream index (splitmix64 over root+stream). Sharded runs use it
+// to give every worker simulator its own RNG stream: the derived seeds depend
+// only on (root, stream), never on worker scheduling, so a sharded scenario
+// produces identical results at any worker count.
+func DeriveSeed(root, stream uint64) uint64 {
+	z := root + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // RNG is a small, fast deterministic PRNG (xorshift64*). It intentionally does
 // not use math/rand so that traces remain stable across Go releases.
 type RNG struct {

@@ -79,22 +79,39 @@ func (s *Sampler) Record(v float64, now time.Duration) {
 // Len returns the number of samples.
 func (s *Sampler) Len() int { return len(s.samples) }
 
+// Samples returns the recorded values in record order, so consumers that
+// fold samples across simulators (the fleet merge layer) can aggregate raw
+// values. The slice is owned by the sampler; callers that outlive it must
+// copy.
+func (s *Sampler) Samples() []float64 { return s.samples }
+
 // Mean returns the arithmetic mean of the samples (0 when empty).
-func (s *Sampler) Mean() float64 {
-	if len(s.samples) == 0 {
+func (s *Sampler) Mean() float64 { return Mean(s.samples) }
+
+// Max returns the largest sample.
+func (s *Sampler) Max() float64 { return Max(s.samples) }
+
+// Percentile returns the p-th percentile (0..100) of the samples.
+func (s *Sampler) Percentile(p float64) float64 { return Percentile(s.samples, p) }
+
+// Mean returns the arithmetic mean of xs (0 when empty). The package-level
+// statistics exist so consumers that merge raw sample slices across shards
+// (internal/fleet) share one convention with Sampler.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, v := range s.samples {
+	for _, v := range xs {
 		sum += v
 	}
-	return sum / float64(len(s.samples))
+	return sum / float64(len(xs))
 }
 
-// Max returns the largest sample.
-func (s *Sampler) Max() float64 {
+// Max returns the largest value in xs (0 when empty).
+func Max(xs []float64) float64 {
 	var max float64
-	for _, v := range s.samples {
+	for _, v := range xs {
 		if v > max {
 			max = v
 		}
@@ -102,12 +119,13 @@ func (s *Sampler) Max() float64 {
 	return max
 }
 
-// Percentile returns the p-th percentile (0..100) of the samples.
-func (s *Sampler) Percentile(p float64) float64 {
-	if len(s.samples) == 0 {
+// Percentile returns the p-th percentile (0..100) of xs using the ceil-rank
+// convention. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.samples...)
+	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {

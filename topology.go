@@ -43,6 +43,13 @@ type Link struct {
 	BtoA LinkConfig
 }
 
+// toPathConfig lowers the link's two directions to the internal path
+// configuration (BtoA mirrored from AtoB when zero); Topology.Build and the
+// Fleet resolver share it.
+func (l Link) toPathConfig() netem.PathConfig {
+	return netem.PathConfig{AB: l.AtoB.toInternal(), BA: l.BtoA.toInternal()}
+}
+
 // SymmetricLink returns a link with identical directions: the given rate,
 // one-way delay of rtt/2 and queue size.
 func SymmetricLink(name string, rateMbps float64, rtt time.Duration, queueBytes int) Link {
@@ -137,12 +144,11 @@ func (t *Topology) Build() (*Network, error) {
 	}
 	spec := netem.GraphSpec{Hosts: t.hosts}
 	for _, l := range t.links {
-		lc := netem.PathConfig{AB: l.link.AtoB.toInternal(), BA: l.link.BtoA.toInternal()}
 		spec.Links = append(spec.Links, netem.LinkSpec{
 			Name:   l.link.Name,
 			A:      l.a,
 			B:      l.b,
-			Config: lc,
+			Config: l.link.toPathConfig(),
 			Boxes:  l.boxes,
 		})
 	}
