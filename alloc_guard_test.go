@@ -2,10 +2,15 @@ package mptcpgo
 
 import (
 	"testing"
+	"time"
 
 	"mptcpgo/internal/buffer"
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/pool"
+	"mptcpgo/internal/sim"
 )
 
 // Allocation-regression guards: the pooled hot paths introduced for the
@@ -134,5 +139,101 @@ func TestChecksumMatchesReference(t *testing.T) {
 		if got != want {
 			t.Fatalf("len=%d: composed checksum %#04x, reference %#04x", n, got, want)
 		}
+	}
+}
+
+// TestSendPathSteadyStateAllocs guards the chunk + DSS recycling on the
+// full MPTCP send path: once a connection reaches steady state, a
+// write→deliver→read cycle must not allocate per segment. Every moving part
+// is recycled — chunk structs and their DSS options (per-endpoint free
+// lists), outgoing segments and payload buffers (pools), outgoing options
+// (per-segment arenas), events (simulator free list) — so the average
+// allocation count per cycle is pinned near zero. The small budget absorbs
+// sync.Pool refills after GC cycles; before chunk/DSS recycling this cycle
+// cost dozens of allocations.
+func TestSendPathSteadyStateAllocs(t *testing.T) {
+	s := sim.New(7)
+	net := netem.Build(s, netem.Symmetric("p", netem.Mbps(100), time.Millisecond, 0, 0))
+	cliMgr := core.NewManager(net.Client)
+	srvMgr := core.NewManager(net.Server)
+
+	cfg := core.DefaultConfig()
+	cfg.SendBufBytes = 256 << 10
+	cfg.RecvBufBytes = 256 << 10
+
+	var serverConn *core.Connection
+	if _, err := srvMgr.Listen(80, cfg, func(c *core.Connection) { serverConn = c }); err != nil {
+		t.Fatal(err)
+	}
+	iface := net.Client.Interfaces()[0]
+	conn, err := cliMgr.Dial(iface, packet.Endpoint{Addr: net.ServerAddr(0), Port: 80}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && (serverConn == nil || !conn.Established()); i++ {
+		if !s.Step() {
+			break
+		}
+	}
+	if serverConn == nil || !conn.Established() {
+		t.Fatal("connection did not establish")
+	}
+
+	payload := make([]byte, 1460)
+	readBuf := make([]byte, 4096)
+	cycle := func() {
+		if conn.Write(payload) != len(payload) {
+			t.Fatal("write rejected in steady state")
+		}
+		deadline := s.Now() + time.Second
+		for serverConn.ReadableBytes() < len(payload) && s.Now() < deadline {
+			if !s.Step() {
+				break
+			}
+		}
+		for serverConn.ReadableBytes() > 0 {
+			if serverConn.ReadInto(readBuf) == 0 {
+				break
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // reach steady state: free lists, pools and queues warm
+	}
+	avg := testing.AllocsPerRun(400, cycle)
+	if avg >= 4 {
+		t.Fatalf("steady-state send cycle allocates %.2f allocs/op; want < 4", avg)
+	}
+}
+
+// TestBulkTransferAllocBudget pins the end-to-end allocation footprint of
+// the short WiFi+3G bulk transfer that BenchmarkBulkTransferAllocs measures.
+// The hot-path work (PR 1: pools and send-queue slicing; this PR: chunk/DSS
+// recycling, per-segment option arenas, capacity-preserving queues) brought
+// it from ~268k to ~59.8k to ~3.2k allocs/op; the budget holds the new
+// steady state with headroom for GC-induced pool refills.
+func TestBulkTransferAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bulk transfer budget is not measured in -short mode")
+	}
+	cfg := core.DefaultConfig()
+	cfg.SendBufBytes = 256 << 10
+	cfg.RecvBufBytes = 256 << 10
+	run := func() {
+		if _, err := experiments.RunBulk(experiments.BulkOptions{
+			Seed:     1,
+			Specs:    netem.WiFi3GSpec(),
+			Client:   cfg,
+			Server:   cfg,
+			Duration: 3 * time.Second,
+			Warmup:   1 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(3, run)
+	const budget = 8000
+	if avg > budget {
+		t.Fatalf("bulk transfer allocates %.0f allocs/run; budget %d (pre-recycling figure was ~59.8k)", avg, budget)
 	}
 }

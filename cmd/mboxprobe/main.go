@@ -15,11 +15,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shorter transfers")
 	seed := flag.Uint64("seed", 42, "base RNG seed")
+	pcapDir := flag.String("pcap-dir", "", "capture each matrix case's wire traffic into this directory (classic pcap, one file per case)")
 	flag.Parse()
 
 	opts := []experiments.Option{experiments.WithSeed(*seed)}
 	if *quick {
 		opts = append(opts, experiments.WithQuick())
+	}
+	if *pcapDir != "" {
+		opts = append(opts, experiments.WithPcapDir(*pcapDir))
 	}
 	res, err := experiments.Run("mbox", opts...)
 	if err == nil {

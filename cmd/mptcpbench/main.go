@@ -45,6 +45,7 @@ func main() {
 	clients := flag.Int("clients", 0, "fleet scenario size: clients, senders or pairs (0 = scenario default)")
 	shards := flag.Int("shards", 0, "fleet shard count (0 = one shard per 64 members)")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS; never changes the output)")
+	pcapDir := flag.String("pcap-dir", "", "capture wire traffic into this directory: one classic pcap per fleet shard (-scenario) or per middlebox-matrix case (-run mbox); capture never changes results")
 	flag.Parse()
 
 	switch *format {
@@ -63,7 +64,7 @@ func main() {
 		if *paperEra {
 			fail(fmt.Errorf("-paper-era-cpu does not apply to fleet scenarios"))
 		}
-		res, elapsed, err := runScenario(*scenario, *seed, *clients, *shards, *workers, *quick)
+		res, elapsed, err := runScenario(*scenario, *seed, *clients, *shards, *workers, *quick, *pcapDir)
 		if err != nil {
 			fail(err)
 		}
@@ -97,6 +98,9 @@ func main() {
 	if *paperEra {
 		opts = append(opts, experiments.WithPaperEraCPU())
 	}
+	if *pcapDir != "" {
+		opts = append(opts, experiments.WithPcapDir(*pcapDir))
+	}
 
 	ids := []string{*run}
 	if strings.EqualFold(*run, "all") {
@@ -114,7 +118,7 @@ func main() {
 }
 
 // runScenario dispatches one fleet scenario with CLI sizing applied.
-func runScenario(name string, seed uint64, members, shards, workers int, quick bool) (*experiments.Result, time.Duration, error) {
+func runScenario(name string, seed uint64, members, shards, workers int, quick bool, pcapDir string) (*experiments.Result, time.Duration, error) {
 	start := time.Now()
 	var res *experiments.Result
 	var err error
@@ -128,7 +132,7 @@ func runScenario(name string, seed uint64, members, shards, workers int, quick b
 			n = members
 		}
 		spec := fleet.DefaultHTTPSpec(seed, n, requests, size)
-		spec.Shards, spec.Workers, spec.Quick = shards, workers, quick
+		spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = shards, workers, quick, pcapDir
 		res, err = fleet.RunHTTP(spec)
 	case "incast":
 		n, block := 256, 256<<10
@@ -140,7 +144,7 @@ func runScenario(name string, seed uint64, members, shards, workers int, quick b
 		}
 		res, err = fleet.RunIncast(fleet.IncastSpec{
 			Seed: seed, Senders: n, BlockSize: block,
-			Shards: shards, Workers: workers, Quick: quick,
+			Shards: shards, Workers: workers, Quick: quick, PcapDir: pcapDir,
 		})
 	case "mixed":
 		n, dur := 32, 5*time.Second
@@ -152,7 +156,7 @@ func runScenario(name string, seed uint64, members, shards, workers int, quick b
 		}
 		res, err = fleet.RunMixed(fleet.MixedSpec{
 			Seed: seed, Pairs: n, Duration: dur,
-			Shards: shards, Workers: workers, Quick: quick,
+			Shards: shards, Workers: workers, Quick: quick, PcapDir: pcapDir,
 		})
 	default:
 		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, incast or mixed)", name)

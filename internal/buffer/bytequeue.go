@@ -8,9 +8,17 @@ package buffer
 // backs both the subflow send buffer (offsets are subflow sequence numbers
 // relative to the ISN) and the connection-level receive queue (offsets are
 // data sequence numbers).
+//
+// Consumed bytes are tracked with an explicit head index instead of
+// re-slicing, so Append can reclaim the consumed prefix of the backing array
+// before growing: a steady-state write→ack cycle reuses one buffer forever
+// instead of leaking capacity off the front and reallocating.
 type ByteQueue struct {
 	data []byte
-	// headOffset is the absolute stream offset of data[0].
+	// head indexes the first live byte in data; bytes before it have been
+	// consumed and their space is reclaimed on the next growing Append.
+	head int
+	// headOffset is the absolute stream offset of data[head].
 	headOffset uint64
 }
 
@@ -21,16 +29,23 @@ func NewByteQueue(headOffset uint64) *ByteQueue {
 }
 
 // Len returns the number of buffered bytes.
-func (q *ByteQueue) Len() int { return len(q.data) }
+func (q *ByteQueue) Len() int { return len(q.data) - q.head }
 
 // HeadOffset returns the absolute offset of the first buffered byte.
 func (q *ByteQueue) HeadOffset() uint64 { return q.headOffset }
 
 // TailOffset returns the absolute offset one past the last buffered byte.
-func (q *ByteQueue) TailOffset() uint64 { return q.headOffset + uint64(len(q.data)) }
+func (q *ByteQueue) TailOffset() uint64 { return q.headOffset + uint64(q.Len()) }
 
 // Append adds data at the tail of the stream.
 func (q *ByteQueue) Append(b []byte) {
+	if q.head > 0 && len(q.data)+len(b) > cap(q.data) {
+		// Reclaim the consumed prefix before the append would grow the
+		// backing array.
+		n := copy(q.data, q.data[q.head:])
+		q.data = q.data[:n]
+		q.head = 0
+	}
 	q.data = append(q.data, b...)
 }
 
@@ -40,7 +55,7 @@ func (q *ByteQueue) Peek(off uint64, n int) []byte {
 	if off < q.headOffset || off >= q.TailOffset() {
 		return nil
 	}
-	start := int(off - q.headOffset)
+	start := q.head + int(off-q.headOffset)
 	end := start + n
 	if end > len(q.data) {
 		end = len(q.data)
@@ -48,12 +63,14 @@ func (q *ByteQueue) Peek(off uint64, n int) []byte {
 	return q.data[start:end]
 }
 
-// Pop removes and returns up to n bytes from the head of the queue.
+// Pop removes and returns up to n bytes from the head of the queue. The
+// returned slice is freshly allocated; zero-allocation consumers use Peek +
+// TrimTo instead.
 func (q *ByteQueue) Pop(n int) []byte {
-	if n > len(q.data) {
-		n = len(q.data)
+	if n > q.Len() {
+		n = q.Len()
 	}
-	out := append([]byte(nil), q.data[:n]...)
+	out := append([]byte(nil), q.data[q.head:q.head+n]...)
 	q.discard(n)
 	return out
 }
@@ -65,9 +82,9 @@ func (q *ByteQueue) TrimTo(off uint64) {
 		return
 	}
 	n := off - q.headOffset
-	if n >= uint64(len(q.data)) {
-		q.headOffset = q.TailOffset()
+	if n >= uint64(q.Len()) {
 		q.data = q.data[:0]
+		q.head = 0
 		q.headOffset = off
 		return
 	}
@@ -76,15 +93,41 @@ func (q *ByteQueue) TrimTo(off uint64) {
 
 func (q *ByteQueue) discard(n int) {
 	q.headOffset += uint64(n)
-	// Compact occasionally instead of copying on every discard.
-	q.data = q.data[n:]
-	if cap(q.data) > 1<<16 && len(q.data) < cap(q.data)/4 {
-		q.data = append([]byte(nil), q.data...)
+	q.head += n
+	if q.head == len(q.data) {
+		q.data = q.data[:0]
+		q.head = 0
+		return
+	}
+	// Shed a high-water backing array once the live bytes fall well below
+	// it, so a queue that once absorbed a burst does not pin that peak for
+	// the connection's lifetime. Small arrays are kept forever — that is
+	// what makes the steady-state cycle allocation-free.
+	if cap(q.data) > 1<<16 && q.Len() < cap(q.data)/4 {
+		q.data = append([]byte(nil), q.data[q.head:]...)
+		q.head = 0
 	}
 }
 
 // Reset empties the queue and moves its head to the given offset.
 func (q *ByteQueue) Reset(headOffset uint64) {
 	q.data = q.data[:0]
+	q.head = 0
 	q.headOffset = headOffset
+}
+
+// CompactPrefix removes the first n elements of q in place: survivors shift
+// to the front, the vacated tail slots are zeroed — load-bearing for
+// pointer elements, so freed objects are not pinned (or aliased by free
+// lists) through the backing array — and the shortened slice keeps its
+// capacity. This is the shared drain primitive for the endpoint chunk
+// queues and the connection-level in-flight list; re-slicing with q[n:]
+// instead would leak capacity off the front and reallocate every window.
+func CompactPrefix[T any](q []T, n int) []T {
+	m := copy(q, q[n:])
+	var zero T
+	for i := m; i < len(q); i++ {
+		q[i] = zero
+	}
+	return q[:m]
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/sched"
 )
@@ -111,19 +112,21 @@ func (c *Connection) schedulerCandidates() ([]sched.Candidate, []*Subflow) {
 // retransmission of an existing mapping on a different subflow.
 func (c *Connection) sendMapping(sf *Subflow, dataSeq uint64, data []byte, reinject *txMapping) bool {
 	offset := uint32(sf.ep.QueuedPayloadBytes())
-	dss := &packet.DSSOption{
-		HasDataACK:    true,
-		DataACK:       c.wireDataAck(),
-		HasMapping:    true,
-		DataSeq:       c.wireDataSeq(dataSeq),
-		SubflowOffset: offset,
-		Length:        uint16(len(data)),
-	}
+	// The DSS option comes from (and returns to) the subflow endpoint's free
+	// list: ownership transfers with SendChunkWithOpt and the endpoint
+	// recycles it once the mapping's bytes are fully acknowledged.
+	dss := sf.ep.NewDSSOption()
+	dss.HasDataACK = true
+	dss.DataACK = c.wireDataAck()
+	dss.HasMapping = true
+	dss.DataSeq = c.wireDataSeq(dataSeq)
+	dss.SubflowOffset = offset
+	dss.Length = uint16(len(data))
 	if c.cfg.UseDSSChecksum {
 		dss.HasChecksum = true
 		dss.Checksum = packet.DSSChecksum(dss.DataSeq, offset, dss.Length, data)
 	}
-	if !sf.ep.SendChunk(data, []packet.Option{dss}) {
+	if !sf.ep.SendChunkWithOpt(data, dss) {
 		return false
 	}
 	sf.chunksSent++
@@ -330,9 +333,17 @@ func (c *Connection) onDataAck(from *Subflow, relAck uint64, windowBytes int) {
 	if relAck > c.dataUna {
 		c.dataUna = relAck
 		c.sndBuf.TrimTo(minUint64(c.dataUna, c.sndBuf.TailOffset()))
-		for len(c.inflight) > 0 && c.inflight[0].end() <= c.dataUna {
-			c.mappingFree = append(c.mappingFree, c.inflight[0])
-			c.inflight = c.inflight[1:]
+		freed := 0
+		for freed < len(c.inflight) && c.inflight[freed].end() <= c.dataUna {
+			c.mappingFree = append(c.mappingFree, c.inflight[freed])
+			freed++
+		}
+		if freed > 0 {
+			// Compact once for the batch so the slice's capacity is reused
+			// instead of leaking off the front (re-slicing would cost one
+			// allocation per mapping at steady state, per-pop compaction a
+			// quadratic copy on large cumulative ACKs).
+			c.inflight = buffer.CompactPrefix(c.inflight, freed)
 		}
 		if c.dataFinSent && !c.dataFinAcked && c.dataUna >= c.dataFinSeq+1 {
 			c.dataFinAcked = true

@@ -179,11 +179,22 @@ func (s *Subflow) OnSegmentSent(e *tcp.Endpoint, seg *packet.Segment, retransmis
 			dss.HasDataACK = true
 			dss.DataACK = c.wireDataAck()
 		}
+		// KNOWN WIRE DIVERGENCE: when handshakeRepeat is true and the chunk's
+		// DSS already carries a DATA_ACK (sendMapping always sets one), the
+		// 20-byte MP_CAPABLE repeat pushes the option set to 48 bytes — more
+		// than the 40-byte TCP option space, so this in-memory segment is not
+		// representable on a real wire. A real stack would shed the DATA_ACK
+		// here (dss.HasDataACK = false brings it to exactly 40); doing so
+		// changes link serialization timing and therefore simulation output,
+		// so the fix is deferred to a dedicated PR (see ROADMAP). The pcap
+		// export — which encodes every segment for real and caught this —
+		// skips and counts these segments (PcapWriter.EncodeErrors).
 		s.maybeAttachDataFIN(dss)
 	} else if !handshakeRepeat {
-		dss := &packet.DSSOption{HasDataACK: true, DataACK: c.wireDataAck()}
+		dss := seg.AppendDSS()
+		dss.HasDataACK = true
+		dss.DataACK = c.wireDataAck()
 		s.maybeAttachDataFIN(dss)
-		seg.Options = append(seg.Options, dss)
 	}
 	if handshakeRepeat {
 		seg.RemoveOptions(func(o packet.Option) bool { return o.Kind() == packet.OptTimestamps })

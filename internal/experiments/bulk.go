@@ -42,6 +42,12 @@ type BulkOptions struct {
 	// HostCPU, when set, installs the host packet-processing cost model on
 	// both hosts (Figure 3's per-packet and software-checksum costs).
 	HostCPU *netem.CPUModel
+
+	// PcapPath, when non-empty, captures every segment the run's links
+	// accept (both paths, both directions) into a classic pcap file at this
+	// path via the unified wire codec. Capture only observes; the run's
+	// results are unchanged.
+	PcapPath string
 }
 
 // BulkResult summarises one bulk-transfer run.
@@ -91,6 +97,17 @@ func RunBulk(opt BulkOptions) (BulkResult, error) {
 	if opt.HostCPU != nil {
 		net.Client.CPU = *opt.HostCPU
 		net.Server.CPU = *opt.HostCPU
+	}
+
+	closePcap := func() error { return nil }
+	if opt.PcapPath != "" {
+		pw, err := trace.NewPcapFile(opt.PcapPath)
+		if err != nil {
+			return BulkResult{}, err
+		}
+		closePcap = pw.Close // idempotent: deferred for error paths, checked below
+		defer pw.Close()
+		trace.CapturePaths(pw, s.Now, net.Paths...)
 	}
 
 	cliMgr := core.NewManager(net.Client)
@@ -232,6 +249,11 @@ func RunBulk(opt BulkOptions) (BulkResult, error) {
 		res.SenderMemMaxKB = sndMem.Max()
 		res.ReceiverMemMeanKB = rcvMem.Mean()
 		res.ReceiverMemMaxKB = rcvMem.Max()
+	}
+	// A capture that failed to flush must fail the run, not silently hand
+	// back a truncated file.
+	if err := closePcap(); err != nil {
+		return BulkResult{}, err
 	}
 	return res, nil
 }

@@ -32,6 +32,12 @@ type Options struct {
 	// hardware.
 	PaperEraCPU bool
 
+	// PcapDir, when non-empty, makes experiments that support wire capture
+	// (currently the middlebox matrix) write one classic pcap file per case
+	// into this directory. Capture taps only observe traffic through the
+	// wire codec; results are unchanged.
+	PcapDir string
+
 	// seedSet records that Seed was supplied explicitly (WithSeed), making
 	// seed 0 a legal seed instead of an alias for the default.
 	seedSet bool
@@ -54,6 +60,10 @@ func WithSeed(seed uint64) Option {
 
 // WithPaperEraCPU selects the 2012-class host CPU cost model.
 func WithPaperEraCPU() Option { return func(o *Options) { o.PaperEraCPU = true } }
+
+// WithPcapDir enables per-case pcap capture into dir for experiments that
+// support it.
+func WithPcapDir(dir string) Option { return func(o *Options) { o.PcapDir = dir } }
 
 // NewOptions applies the functional options to a zero Options value.
 func NewOptions(opts ...Option) Options {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"mptcpgo/internal/core"
@@ -50,6 +52,9 @@ func mboxCases() []mboxCase {
 		{"segment coalescing", func() []netem.Box { return []netem.Box{middlebox.NewCoalescer(2, 8192)} }, false, "MPTCP works; lost mappings retransmitted"},
 		{"pro-active ACKing proxy", func() []netem.Box { return []netem.Box{middlebox.NewProactiveACKer()} }, false, "MPTCP works (DATA_ACK is authoritative)"},
 		{"payload-modifying ALG", func() []netem.Box { return []netem.Box{middlebox.NewPayloadCorrupter(400)} }, false, "checksum failure: subflow reset, transfer continues"},
+		// Appended after the original matrix so the earlier rows keep their
+		// per-case seeds (opt.Seed + i*101) and stay byte-identical.
+		{"wire reserializer (codec round-trip)", func() []netem.Box { return []netem.Box{middlebox.NewReserializer()} }, false, "MPTCP unaffected (wire and in-memory forms agree)"},
 	}
 }
 
@@ -73,6 +78,13 @@ func runMbox(opt Options) (*Result, error) {
 		cfg := core.DefaultConfig()
 		cfg.SendBufBytes = 200 << 10
 		cfg.RecvBufBytes = 200 << 10
+		pcapPath := ""
+		if opt.PcapDir != "" {
+			if err := os.MkdirAll(opt.PcapDir, 0o755); err != nil {
+				return BulkResult{}, err
+			}
+			pcapPath = filepath.Join(opt.PcapDir, fmt.Sprintf("mbox-%02d.pcap", i))
+		}
 		return RunBulk(BulkOptions{
 			Seed:     opt.Seed + uint64(i)*101,
 			Specs:    netem.WiFi3GSpec(),
@@ -81,6 +93,7 @@ func runMbox(opt Options) (*Result, error) {
 			Server:   cfg,
 			Duration: duration,
 			Warmup:   duration / 4,
+			PcapPath: pcapPath,
 		})
 	})
 	if err != nil {

@@ -2,11 +2,15 @@ package fleet
 
 import (
 	"bytes"
+	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/trace"
 )
 
 // encodeJSON renders a result the way the CLI's -format json does, so the
@@ -179,5 +183,61 @@ func TestFleetHTTPCompletes(t *testing.T) {
 	}
 	if len(res.Series) != 2 || len(res.Series[0].Y) != 4 {
 		t.Fatalf("expected 2 series with 4 shard points, got %+v", res.Series)
+	}
+}
+
+// TestFleetPcapCapture runs a small fleet-http workload with per-shard
+// capture enabled and checks that (a) enabling capture does not change the
+// merged result, (b) every shard produced a capture file, and (c) each file
+// is a valid classic pcap whose records decode back to TCP segments.
+func TestFleetPcapCapture(t *testing.T) {
+	const clients, shards = 8, 2
+	base := DefaultHTTPSpec(42, clients, 1, 8<<10)
+	base.Shards = shards
+	plain, err := RunHTTP(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	captured := DefaultHTTPSpec(42, clients, 1, 8<<10)
+	captured.Shards = shards
+	captured.PcapDir = dir
+	withCap, err := RunHTTP(captured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := encodeJSON(t, plain), encodeJSON(t, withCap); !bytes.Equal(a, b) {
+		t.Fatalf("enabling pcap capture changed the merged result:\n%s\nvs\n%s", a, b)
+	}
+
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("fleet-http-shard%03d.pcap", i))
+		recs, err := trace.ReadPcapFile(path)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("shard %d capture is empty", i)
+		}
+		var last time.Duration
+		for j, rec := range recs {
+			if rec.Ts < last {
+				t.Fatalf("shard %d record %d: timestamps not monotonic", i, j)
+			}
+			last = rec.Ts
+			src, dst, tcp, err := rec.TCP()
+			if err != nil {
+				t.Fatalf("shard %d record %d: %v", i, j, err)
+			}
+			seg, err := packet.Decode(src, dst, tcp)
+			if err != nil {
+				t.Fatalf("shard %d record %d: decode: %v", i, j, err)
+			}
+			if !packet.VerifyTCPChecksum(seg.Src, seg.Dst, tcp) {
+				t.Fatalf("shard %d record %d: bad TCP checksum", i, j)
+			}
+			seg.Release()
+		}
 	}
 }

@@ -54,6 +54,10 @@ type HTTPSpec struct {
 	Label string
 	// Quick is recorded in the result metadata.
 	Quick bool
+	// PcapDir, when non-empty, captures every shard's wire traffic into
+	// <PcapDir>/fleet-http-shard<NNN>.pcap (classic pcap, raw IPv4).
+	// Capture never changes the merged result.
+	PcapDir string
 }
 
 // DefaultAccessLink derives the deterministic heterogeneous access link used
@@ -184,6 +188,11 @@ func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
 	if err := sh.Materialize(g); err != nil {
 		return httpShardOut{}, err
 	}
+	closeCapture, err := sh.StartCapture(spec.PcapDir, "fleet-http")
+	if err != nil {
+		return httpShardOut{}, err
+	}
+	defer closeCapture()
 
 	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
 		return httpShardOut{}, err
@@ -219,6 +228,9 @@ func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
 	out := httpShardOut{clients: sh.Members(), events: sh.Sim.Processed}
 	for _, p := range pools {
 		out.merge.Add(p.Result(), p.LatencySamples())
+	}
+	if err := closeCapture(); err != nil {
+		return httpShardOut{}, err
 	}
 	return out, nil
 }

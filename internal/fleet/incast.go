@@ -37,6 +37,9 @@ type IncastSpec struct {
 	// Label overrides the result title; Quick is recorded in the metadata.
 	Label string
 	Quick bool
+	// PcapDir, when non-empty, captures every shard's wire traffic into
+	// <PcapDir>/incast-shard<NNN>.pcap.
+	PcapDir string
 }
 
 func (s IncastSpec) withDefaults() IncastSpec {
@@ -143,6 +146,11 @@ func runIncastShard(spec *IncastSpec, sh *Shard) (incastShardOut, error) {
 	if err := sh.Materialize(g); err != nil {
 		return incastShardOut{}, err
 	}
+	closeCapture, err := sh.StartCapture(spec.PcapDir, "incast")
+	if err != nil {
+		return incastShardOut{}, err
+	}
+	defer closeCapture()
 
 	out := incastShardOut{senders: sh.Members()}
 	remaining := sh.Members()
@@ -209,5 +217,8 @@ func runIncastShard(spec *IncastSpec, sh *Shard) (incastShardOut, error) {
 	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
 	out.failed = out.senders - out.finished // blocks still incomplete at the deadline
 	out.events = sh.Sim.Processed
+	if err := closeCapture(); err != nil {
+		return incastShardOut{}, err
+	}
 	return out, nil
 }

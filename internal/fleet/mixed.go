@@ -33,6 +33,9 @@ type MixedSpec struct {
 	// Label overrides the result title; Quick is recorded in the metadata.
 	Label string
 	Quick bool
+	// PcapDir, when non-empty, captures every shard's wire traffic into
+	// <PcapDir>/mixed-shard<NNN>.pcap.
+	PcapDir string
 }
 
 func (s MixedSpec) withDefaults() MixedSpec {
@@ -124,6 +127,11 @@ func runMixedShard(spec *MixedSpec, sh *Shard) (mixedShardOut, error) {
 	if err := sh.Materialize(g); err != nil {
 		return mixedShardOut{}, err
 	}
+	closeCapture, err := sh.StartCapture(spec.PcapDir, "mixed")
+	if err != nil {
+		return mixedShardOut{}, err
+	}
+	defer closeCapture()
 
 	n := sh.Members()
 	out := mixedShardOut{pairs: n, fgMbps: make([]float64, n), bgMbps: make([]float64, n)}
@@ -205,5 +213,8 @@ func runMixedShard(spec *MixedSpec, sh *Shard) (mixedShardOut, error) {
 		out.bgMbps[i] = float64(bgBytes[i]-bgBase[i]) * 8 / window / 1e6
 	}
 	out.events = sh.Sim.Processed
+	if err := closeCapture(); err != nil {
+		return mixedShardOut{}, err
+	}
 	return out, nil
 }

@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mptcpgo/internal/trace"
+)
+
+// Per-shard pcap export. Every shard owns its network outright, so wire
+// capture shards the same way the workload does: one classic pcap file per
+// shard, named <scenario>-shard<NNN>.pcap, containing every segment any of
+// the shard's links accepted (both directions), stamped with the shard's
+// simulated time. Capture taps only observe — they write through the unified
+// wire codec and never touch the segment — so enabling capture cannot change
+// a scenario's merged result.
+
+// CaptureTo taps every link of the shard's materialized network into w.
+// Must be called after Materialize and before the shard starts stepping.
+func (sh *Shard) CaptureTo(w *trace.PcapWriter) {
+	trace.CapturePaths(w, sh.Sim.Now, sh.Net.Paths...)
+}
+
+// StartCapture opens the shard's capture file under dir and taps the
+// shard's links into it. It returns a close function that flushes and
+// closes the file (a no-op when dir is empty). Scenario shard runners call
+// it right after Materialize.
+func (sh *Shard) StartCapture(dir, scenario string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: shard %d capture: %w", sh.Index, err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-shard%03d.pcap", scenario, sh.Index))
+	w, err := trace.NewPcapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d capture: %w", sh.Index, err)
+	}
+	sh.CaptureTo(w)
+	return w.Close, nil // idempotent: safe to defer and error-check explicitly
+}

@@ -226,3 +226,52 @@ func TestTapAndDropper(t *testing.T) {
 		t.Fatal("drop budget exhausted; segment should pass")
 	}
 }
+
+func TestReserializerRoundTripsSegments(t *testing.T) {
+	r := NewReserializer()
+	ctx := nopCtx{s: sim.New(1)}
+	seg := &packet.Segment{
+		Src:    packet.Endpoint{Addr: packet.MakeAddr(10, 0, 0, 1), Port: 40001},
+		Dst:    packet.Endpoint{Addr: packet.MakeAddr(10, 0, 1, 2), Port: 80},
+		Seq:    7777,
+		Ack:    8888,
+		Flags:  packet.FlagACK | packet.FlagPSH,
+		Window: 4321,
+		Options: []packet.Option{
+			&packet.TimestampsOption{Val: 11, Echo: 22},
+			&packet.DSSOption{HasDataACK: true, DataACK: 99, HasMapping: true, DataSeq: 1234, SubflowOffset: 55, Length: 5, HasChecksum: true, Checksum: 0xfeed},
+		},
+		Payload: []byte("hello"),
+		SentAt:  123 * time.Millisecond,
+		Ordinal: 42,
+	}
+	want := seg.Clone() // keep an independent copy for comparison
+	out := r.Process(ctx, netem.AtoB, seg)
+	if len(out) != 1 {
+		t.Fatalf("reserializer forwarded %d segments; want 1", len(out))
+	}
+	got := out[0]
+	if r.Errors != 0 || r.Reserialized != 1 {
+		t.Fatalf("errors=%d reserialized=%d", r.Errors, r.Reserialized)
+	}
+	if got.Src != want.Src || got.Dst != want.Dst || got.Seq != want.Seq ||
+		got.Ack != want.Ack || got.Flags != want.Flags || got.Window != want.Window {
+		t.Fatalf("header changed across the wire: got %v want %v", got, want)
+	}
+	if got.SentAt != want.SentAt || got.Ordinal != want.Ordinal {
+		t.Fatal("simulator metadata not carried across the codec round trip")
+	}
+	if string(got.Payload) != string(want.Payload) {
+		t.Fatalf("payload changed: %q", got.Payload)
+	}
+	if len(got.Options) != len(want.Options) {
+		t.Fatalf("option count changed: got %d want %d", len(got.Options), len(want.Options))
+	}
+	for i := range want.Options {
+		if got.Options[i].String() != want.Options[i].String() {
+			t.Fatalf("option %d changed: got %v want %v", i, got.Options[i], want.Options[i])
+		}
+	}
+	got.Release()
+	want.Release()
+}

@@ -65,14 +65,13 @@ func (p *ProactiveACKer) Process(ctx netem.BoxContext, dir netem.Direction, seg 
 			p.ackState[key] = end
 		}
 		if cur := p.ackState[key]; !seen || prev.LessThan(cur) {
-			ack := &packet.Segment{
-				Src:    seg.Dst,
-				Dst:    seg.Src,
-				Seq:    seg.Ack,
-				Ack:    cur,
-				Flags:  packet.FlagACK,
-				Window: 65535,
-			}
+			// Proxy-generated ACKs go through the segment pool like any other
+			// traffic so their lifecycle matches endpoint segments.
+			ack := packet.NewSegment()
+			ack.Src, ack.Dst = seg.Dst, seg.Src
+			ack.Seq, ack.Ack = seg.Ack, cur
+			ack.Flags = packet.FlagACK
+			ack.Window = 65535
 			p.Acked++
 			ctx.Inject(dir.Reverse(), ack)
 		}

@@ -151,6 +151,12 @@ func (p *Path) arrive(dir Direction, seg *packet.Segment) {
 		seg.Release()
 		return
 	}
+	if len(p.boxes) == 0 {
+		// Box-free paths (the common case) deliver directly; the chain walk
+		// below would allocate a slice per segment for nothing.
+		p.destination(dir).Receive(seg)
+		return
+	}
 	segs := p.runChain(dir, 0, seg)
 	for _, s := range segs {
 		p.destination(dir).Receive(s)

@@ -1,0 +1,341 @@
+package packet
+
+// Per-segment option arena. Decoding a segment used to allocate one heap
+// object per option (plus a slice per SACK block list, HMAC and address-ID
+// list), and the send path allocated fresh Timestamps/SACK/DSS objects for
+// every outgoing segment. The arena gives each pooled Segment a fixed block
+// of inline option storage instead: options are carved out of the arena,
+// live exactly as long as the segment, and are reclaimed wholesale when the
+// segment is released. Option pointers obtained from a segment's arena must
+// therefore never outlive the segment — copy the values out (or CloneOption)
+// to keep them.
+//
+// The slot counts cover everything a 40-byte TCP option space can carry in
+// practice; pathological inputs (e.g. a fuzzed header stuffed with ten MSS
+// options) fall back to ordinary heap allocation, trading speed for
+// correctness.
+type optionArena struct {
+	mss    [2]MSSOption
+	ws     [2]WindowScaleOption
+	ts     [2]TimestampsOption
+	sackP  [2]SACKPermittedOption
+	sack   [2]SACKOption
+	blocks [8]SACKBlock
+	mpc    [2]MPCapableOption
+	join   [2]MPJoinOption
+	hmac   [40]byte
+	dss    [4]DSSOption
+	add    [4]AddAddrOption
+	rm     [2]RemoveAddrOption
+	ids    [16]uint8
+	prio   [2]MPPrioOption
+	fail   [2]MPFailOption
+	fc     [2]FastcloseOption
+
+	nMSS, nWS, nTS, nSackP, nSack, nBlocks    uint8
+	nMPC, nJoin, nHMAC, nDSS, nAdd, nRm, nIDs uint8
+	nPrio, nFail, nFC                         uint8
+}
+
+// reset forgets every allocation; the slots themselves are zeroed lazily on
+// their next use.
+func (a *optionArena) reset() {
+	a.nMSS, a.nWS, a.nTS, a.nSackP, a.nSack, a.nBlocks = 0, 0, 0, 0, 0, 0
+	a.nMPC, a.nJoin, a.nHMAC, a.nDSS, a.nAdd, a.nRm, a.nIDs = 0, 0, 0, 0, 0, 0, 0
+	a.nPrio, a.nFail, a.nFC = 0, 0, 0
+}
+
+// arena returns the segment's option arena, creating it on first use.
+// Segments that cycle through the pool keep their arena across reuses.
+func (s *Segment) arena() *optionArena {
+	if s.optArena == nil {
+		s.optArena = new(optionArena)
+	}
+	return s.optArena
+}
+
+// Typed allocators. Each returns a zeroed value backed by the segment's
+// arena, falling back to the heap when the arena slots are exhausted.
+
+func (s *Segment) newMSS() *MSSOption {
+	a := s.arena()
+	if int(a.nMSS) < len(a.mss) {
+		o := &a.mss[a.nMSS]
+		a.nMSS++
+		*o = MSSOption{}
+		return o
+	}
+	return &MSSOption{}
+}
+
+func (s *Segment) newWindowScale() *WindowScaleOption {
+	a := s.arena()
+	if int(a.nWS) < len(a.ws) {
+		o := &a.ws[a.nWS]
+		a.nWS++
+		*o = WindowScaleOption{}
+		return o
+	}
+	return &WindowScaleOption{}
+}
+
+func (s *Segment) newTimestamps() *TimestampsOption {
+	a := s.arena()
+	if int(a.nTS) < len(a.ts) {
+		o := &a.ts[a.nTS]
+		a.nTS++
+		*o = TimestampsOption{}
+		return o
+	}
+	return &TimestampsOption{}
+}
+
+func (s *Segment) newSACKPermitted() *SACKPermittedOption {
+	a := s.arena()
+	if int(a.nSackP) < len(a.sackP) {
+		o := &a.sackP[a.nSackP]
+		a.nSackP++
+		*o = SACKPermittedOption{}
+		return o
+	}
+	return &SACKPermittedOption{}
+}
+
+// newSACK returns a SACK option whose Blocks slice has length n (zeroed),
+// arena-backed when it fits.
+func (s *Segment) newSACK(n int) *SACKOption {
+	a := s.arena()
+	var o *SACKOption
+	if int(a.nSack) < len(a.sack) {
+		o = &a.sack[a.nSack]
+		a.nSack++
+		*o = SACKOption{}
+	} else {
+		o = &SACKOption{}
+	}
+	o.Blocks = s.newSACKBlocks(n)
+	return o
+}
+
+// newSACKBlocks carves a zeroed block slice out of the arena (full capacity
+// clamp, so appends never spill into neighbouring allocations).
+func (s *Segment) newSACKBlocks(n int) []SACKBlock {
+	a := s.arena()
+	if int(a.nBlocks)+n <= len(a.blocks) {
+		lo := int(a.nBlocks)
+		a.nBlocks += uint8(n)
+		bl := a.blocks[lo : lo+n : lo+n]
+		for i := range bl {
+			bl[i] = SACKBlock{}
+		}
+		return bl
+	}
+	return make([]SACKBlock, n)
+}
+
+func (s *Segment) newMPCapable() *MPCapableOption {
+	a := s.arena()
+	if int(a.nMPC) < len(a.mpc) {
+		o := &a.mpc[a.nMPC]
+		a.nMPC++
+		*o = MPCapableOption{}
+		return o
+	}
+	return &MPCapableOption{}
+}
+
+func (s *Segment) newMPJoin() *MPJoinOption {
+	a := s.arena()
+	if int(a.nJoin) < len(a.join) {
+		o := &a.join[a.nJoin]
+		a.nJoin++
+		*o = MPJoinOption{}
+		return o
+	}
+	return &MPJoinOption{}
+}
+
+// arenaBytes carves n bytes out of the arena's HMAC store (for MP_JOIN
+// HMACs), or heap-allocates when full.
+func (s *Segment) arenaBytes(n int) []byte {
+	a := s.arena()
+	if int(a.nHMAC)+n <= len(a.hmac) {
+		lo := int(a.nHMAC)
+		a.nHMAC += uint8(n)
+		return a.hmac[lo : lo+n : lo+n]
+	}
+	return make([]byte, n)
+}
+
+// NewDSSOption returns a zeroed DSS option backed by the segment's arena.
+// The returned option is valid only for the lifetime of the segment.
+func (s *Segment) NewDSSOption() *DSSOption {
+	a := s.arena()
+	if int(a.nDSS) < len(a.dss) {
+		o := &a.dss[a.nDSS]
+		a.nDSS++
+		*o = DSSOption{}
+		return o
+	}
+	return &DSSOption{}
+}
+
+func (s *Segment) newAddAddr() *AddAddrOption {
+	a := s.arena()
+	if int(a.nAdd) < len(a.add) {
+		o := &a.add[a.nAdd]
+		a.nAdd++
+		*o = AddAddrOption{}
+		return o
+	}
+	return &AddAddrOption{}
+}
+
+func (s *Segment) newRemoveAddr(n int) *RemoveAddrOption {
+	a := s.arena()
+	var o *RemoveAddrOption
+	if int(a.nRm) < len(a.rm) {
+		o = &a.rm[a.nRm]
+		a.nRm++
+		*o = RemoveAddrOption{}
+	} else {
+		o = &RemoveAddrOption{}
+	}
+	if int(a.nIDs)+n <= len(a.ids) {
+		lo := int(a.nIDs)
+		a.nIDs += uint8(n)
+		o.AddrIDs = a.ids[lo : lo+n : lo+n]
+		for i := range o.AddrIDs {
+			o.AddrIDs[i] = 0
+		}
+	} else {
+		o.AddrIDs = make([]uint8, n)
+	}
+	return o
+}
+
+func (s *Segment) newMPPrio() *MPPrioOption {
+	a := s.arena()
+	if int(a.nPrio) < len(a.prio) {
+		o := &a.prio[a.nPrio]
+		a.nPrio++
+		*o = MPPrioOption{}
+		return o
+	}
+	return &MPPrioOption{}
+}
+
+func (s *Segment) newMPFail() *MPFailOption {
+	a := s.arena()
+	if int(a.nFail) < len(a.fail) {
+		o := &a.fail[a.nFail]
+		a.nFail++
+		*o = MPFailOption{}
+		return o
+	}
+	return &MPFailOption{}
+}
+
+func (s *Segment) newFastclose() *FastcloseOption {
+	a := s.arena()
+	if int(a.nFC) < len(a.fc) {
+		o := &a.fc[a.nFC]
+		a.nFC++
+		*o = FastcloseOption{}
+		return o
+	}
+	return &FastcloseOption{}
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path builders used by the TCP/MPTCP send path
+// ---------------------------------------------------------------------------
+
+// AppendDSS allocates a zeroed DSS option from the segment's arena, appends
+// it to the option list and returns it for the caller to fill in.
+func (s *Segment) AppendDSS() *DSSOption {
+	o := s.NewDSSOption()
+	s.Options = append(s.Options, o)
+	return o
+}
+
+// AppendTimestamps appends an arena-backed RFC 1323 timestamps option.
+func (s *Segment) AppendTimestamps(val, echo uint32) {
+	o := s.newTimestamps()
+	o.Val, o.Echo = val, echo
+	s.Options = append(s.Options, o)
+}
+
+// AppendSACK appends an arena-backed SACK option carrying a copy of blocks.
+func (s *Segment) AppendSACK(blocks []SACKBlock) {
+	o := s.newSACK(len(blocks))
+	copy(o.Blocks, blocks)
+	s.Options = append(s.Options, o)
+}
+
+// AppendOptionCopy appends a deep copy of o drawn from the segment's arena.
+// The send path uses it to give every outgoing segment its own option
+// objects: a segment in flight never aliases the sender's retransmission
+// state, which is what makes recycling chunks and their DSS options safe.
+func (s *Segment) AppendOptionCopy(o Option) {
+	var c Option
+	switch opt := o.(type) {
+	case *MSSOption:
+		n := s.newMSS()
+		*n = *opt
+		c = n
+	case *WindowScaleOption:
+		n := s.newWindowScale()
+		*n = *opt
+		c = n
+	case *TimestampsOption:
+		n := s.newTimestamps()
+		*n = *opt
+		c = n
+	case *SACKPermittedOption:
+		c = s.newSACKPermitted()
+	case *SACKOption:
+		n := s.newSACK(len(opt.Blocks))
+		copy(n.Blocks, opt.Blocks)
+		c = n
+	case *MPCapableOption:
+		n := s.newMPCapable()
+		*n = *opt
+		c = n
+	case *MPJoinOption:
+		n := s.newMPJoin()
+		*n = *opt
+		if opt.SenderHMAC != nil {
+			n.SenderHMAC = s.arenaBytes(len(opt.SenderHMAC))
+			copy(n.SenderHMAC, opt.SenderHMAC)
+		}
+		c = n
+	case *DSSOption:
+		n := s.NewDSSOption()
+		*n = *opt
+		c = n
+	case *AddAddrOption:
+		n := s.newAddAddr()
+		*n = *opt
+		c = n
+	case *RemoveAddrOption:
+		n := s.newRemoveAddr(len(opt.AddrIDs))
+		copy(n.AddrIDs, opt.AddrIDs)
+		c = n
+	case *MPPrioOption:
+		n := s.newMPPrio()
+		*n = *opt
+		c = n
+	case *MPFailOption:
+		n := s.newMPFail()
+		*n = *opt
+		c = n
+	case *FastcloseOption:
+		n := s.newFastclose()
+		*n = *opt
+		c = n
+	default:
+		c = o.CloneOption()
+	}
+	s.Options = append(s.Options, c)
+}

@@ -145,6 +145,12 @@ type Segment struct {
 	ownsPayload bool
 	// released guards against double-release of pooled segments.
 	released bool
+
+	// optArena is the segment's inline option storage (see arena.go). It is
+	// created on first use and retained across pool reuses; Release resets
+	// it, which invalidates every option pointer handed out for this
+	// segment's lifetime.
+	optArena *optionArena
 }
 
 // Tuple returns the segment's four-tuple.
@@ -191,7 +197,7 @@ func (s *Segment) CloneHeader() *Segment {
 	c.Flags, c.Window = s.Flags, s.Window
 	c.SentAt, c.Ordinal = s.SentAt, s.Ordinal
 	for _, o := range s.Options {
-		c.Options = append(c.Options, o.CloneOption())
+		c.AppendOptionCopy(o)
 	}
 	return c
 }

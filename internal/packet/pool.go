@@ -64,6 +64,10 @@ func (s *Segment) Release() {
 		pool.Recycle(s.Payload)
 	}
 	opts := s.Options[:0]
-	*s = Segment{Options: opts, released: true}
+	arena := s.optArena
+	if arena != nil {
+		arena.reset()
+	}
+	*s = Segment{Options: opts, optArena: arena, released: true}
 	segPool.Put(s)
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"mptcpgo/internal/pool"
 )
 
 // Wire-format errors.
@@ -16,17 +18,28 @@ var (
 
 const headerLen = 20
 
+// WireLen returns the number of bytes Encode will produce for the segment.
+func WireLen(s *Segment) int {
+	return headerLen + OptionsWireLen(s.Options) + len(s.Payload)
+}
+
 // Encode serializes the segment into the RFC 793 wire format (TCP header,
 // options padded to a 4-byte boundary, payload) and fills in the TCP
 // checksum. Addresses are included via the pseudo-header, matching how the
 // checksum is computed on a real stack.
+//
+// The returned buffer is drawn from the internal/pool size classes and
+// ownership transfers to the caller: return it with ReleaseWire (or
+// pool.Recycle) once the bytes have been consumed, or let the garbage
+// collector take it if it escapes. Encoding a steady stream of segments is
+// allocation-free once the pool classes are warm.
 func Encode(s *Segment) ([]byte, error) {
 	optLen := OptionsWireLen(s.Options)
 	if optLen > MaxOptionSpace {
 		return nil, fmt.Errorf("%w: %d bytes", ErrOptionSpace, optLen)
 	}
 	hdrLen := headerLen + optLen
-	buf := make([]byte, hdrLen+len(s.Payload))
+	buf := pool.Bytes(hdrLen + len(s.Payload))
 	binary.BigEndian.PutUint16(buf[0:2], s.Src.Port)
 	binary.BigEndian.PutUint16(buf[2:4], s.Dst.Port)
 	binary.BigEndian.PutUint32(buf[4:8], uint32(s.Seq))
@@ -34,18 +47,23 @@ func Encode(s *Segment) ([]byte, error) {
 	buf[12] = byte(hdrLen/4) << 4
 	buf[13] = byte(s.Flags)
 	binary.BigEndian.PutUint16(buf[14:16], s.Window)
-	// Checksum (buf[16:18]) is filled below; urgent pointer stays zero.
+	// Pool buffers arrive with undefined contents: the checksum field must be
+	// zero while the checksum is computed, and the urgent pointer is always
+	// zero on the wire.
+	buf[16], buf[17] = 0, 0
+	buf[18], buf[19] = 0, 0
 
 	off := headerLen
 	for _, o := range s.Options {
 		n, err := encodeOption(buf[off:hdrLen], o)
 		if err != nil {
+			pool.Recycle(buf)
 			return nil, err
 		}
 		off += n
 	}
-	// Pad remaining option space with NOPs, then terminate with EOL when the
-	// padding is more than a byte (keeps decoders honest).
+	// Pad the remaining option space with NOPs (the padding is at most three
+	// bytes, since OptionsWireLen rounds up to the 4-byte boundary).
 	for off < hdrLen {
 		buf[off] = byte(OptNOP)
 		off++
@@ -57,8 +75,13 @@ func Encode(s *Segment) ([]byte, error) {
 	return buf, nil
 }
 
+// ReleaseWire returns a buffer obtained from Encode to the buffer pool. It
+// is safe on sub-sliced or foreign buffers (they are simply dropped).
+func ReleaseWire(b []byte) { pool.Recycle(b) }
+
 // VerifyTCPChecksum reports whether an encoded segment's checksum is valid
-// for the given endpoints.
+// for the given endpoints. The verification sums around the checksum field
+// in place, so it never copies or allocates.
 func VerifyTCPChecksum(src, dst Endpoint, wire []byte) bool {
 	if len(wire) < headerLen {
 		return false
@@ -67,10 +90,13 @@ func VerifyTCPChecksum(src, dst Endpoint, wire []byte) bool {
 	if hdrLen < headerLen || hdrLen > len(wire) {
 		return false
 	}
-	cp := append([]byte(nil), wire...)
-	binary.BigEndian.PutUint16(cp[16:18], 0)
-	want := binary.BigEndian.Uint16(wire[16:18])
-	return TCPChecksum(src, dst, cp[:hdrLen], cp[hdrLen:]) == want
+	// The stored checksum occupies exactly one 16-bit word at an even offset,
+	// so summing the bytes before and after it is congruent to summing the
+	// whole header with the field zeroed.
+	sum := pseudoHeaderSum(src, dst, len(wire))
+	sum = PartialChecksum(sum, wire[:16])
+	sum = PartialChecksum(sum, wire[18:])
+	return FoldChecksum(sum) == binary.BigEndian.Uint16(wire[16:18])
 }
 
 func encodeOption(dst []byte, o Option) (int, error) {
@@ -124,12 +150,12 @@ func encodeOption(dst []byte, o Option) (int, error) {
 		case JoinSYNACK:
 			b[2] = byte(SubMPJoin)<<4 | backup
 			b[3] = opt.AddrID
-			copy(b[4:12], padHMAC(opt.SenderHMAC, 8))
+			putHMAC(b[4:12], opt.SenderHMAC)
 			binary.BigEndian.PutUint32(b[12:16], opt.SenderNonce)
 		default: // JoinACK
 			b[2] = byte(SubMPJoin) << 4
 			b[3] = 0
-			copy(b[4:24], padHMAC(opt.SenderHMAC, 20))
+			putHMAC(b[4:24], opt.SenderHMAC)
 		}
 	case *DSSOption:
 		b[0], b[1] = byte(OptMPTCP), byte(n)
@@ -194,15 +220,25 @@ func encodeOption(dst []byte, o Option) (int, error) {
 	return n, nil
 }
 
-func padHMAC(h []byte, n int) []byte {
-	out := make([]byte, n)
-	copy(out, h)
-	return out
+// putHMAC writes h into dst, zero-padding the tail; pool-backed encode
+// buffers have undefined contents, so every byte must be written explicitly.
+func putHMAC(dst, h []byte) {
+	n := copy(dst, h)
+	for ; n < len(dst); n++ {
+		dst[n] = 0
+	}
 }
 
 // Decode parses a wire-format segment. The src/dst endpoints carry the
 // addresses (which live in the IP header on a real network); ports are taken
 // from the TCP header itself.
+//
+// The returned segment is drawn from the segment pool with its options
+// stored in the segment's inline arena, and its payload borrows from wire
+// rather than copying — zero allocations at steady state. The caller owns
+// the segment (Release it when done) and must keep wire alive and unmodified
+// for as long as the segment's payload is in use; Clone the segment to
+// outlive the wire buffer.
 func Decode(src, dst Addr, wire []byte) (*Segment, error) {
 	if len(wire) < headerLen {
 		return nil, ErrShortSegment
@@ -211,27 +247,26 @@ func Decode(src, dst Addr, wire []byte) (*Segment, error) {
 	if hdrLen < headerLen || hdrLen > len(wire) {
 		return nil, ErrBadDataOffset
 	}
-	s := &Segment{
-		Src:    Endpoint{Addr: src, Port: binary.BigEndian.Uint16(wire[0:2])},
-		Dst:    Endpoint{Addr: dst, Port: binary.BigEndian.Uint16(wire[2:4])},
-		Seq:    SeqNum(binary.BigEndian.Uint32(wire[4:8])),
-		Ack:    SeqNum(binary.BigEndian.Uint32(wire[8:12])),
-		Flags:  Flags(wire[13]),
-		Window: binary.BigEndian.Uint16(wire[14:16]),
-	}
-	opts, err := decodeOptions(wire[headerLen:hdrLen])
-	if err != nil {
+	s := NewSegment()
+	s.Src = Endpoint{Addr: src, Port: binary.BigEndian.Uint16(wire[0:2])}
+	s.Dst = Endpoint{Addr: dst, Port: binary.BigEndian.Uint16(wire[2:4])}
+	s.Seq = SeqNum(binary.BigEndian.Uint32(wire[4:8]))
+	s.Ack = SeqNum(binary.BigEndian.Uint32(wire[8:12]))
+	s.Flags = Flags(wire[13])
+	s.Window = binary.BigEndian.Uint16(wire[14:16])
+	if err := decodeOptionsInto(s, wire[headerLen:hdrLen]); err != nil {
+		s.Release()
 		return nil, err
 	}
-	s.Options = opts
 	if len(wire) > hdrLen {
-		s.Payload = append([]byte(nil), wire[hdrLen:]...)
+		s.Payload = wire[hdrLen:]
 	}
 	return s, nil
 }
 
-func decodeOptions(b []byte) ([]Option, error) {
-	var opts []Option
+// decodeOptionsInto parses the option block into the segment's option list,
+// drawing option storage from the segment's arena.
+func decodeOptionsInto(s *Segment, b []byte) error {
 	for len(b) > 0 {
 		kind := OptionKind(b[0])
 		if kind == OptEOL {
@@ -242,121 +277,118 @@ func decodeOptions(b []byte) ([]Option, error) {
 			continue
 		}
 		if len(b) < 2 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		olen := int(b[1])
 		if olen < 2 || olen > len(b) {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		body := b[:olen]
-		opt, err := decodeOption(kind, body)
-		if err != nil {
-			return nil, err
-		}
-		if opt != nil {
-			opts = append(opts, opt)
+		if err := decodeOptionInto(s, kind, b[:olen]); err != nil {
+			return err
 		}
 		b = b[olen:]
 	}
-	return opts, nil
+	return nil
 }
 
-func decodeOption(kind OptionKind, b []byte) (Option, error) {
+func decodeOptionInto(s *Segment, kind OptionKind, b []byte) error {
 	switch kind {
 	case OptMSS:
 		if len(b) != 4 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &MSSOption{MSS: binary.BigEndian.Uint16(b[2:4])}, nil
+		o := s.newMSS()
+		o.MSS = binary.BigEndian.Uint16(b[2:4])
+		s.Options = append(s.Options, o)
 	case OptWindowScale:
 		if len(b) != 3 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &WindowScaleOption{Shift: b[2]}, nil
+		o := s.newWindowScale()
+		o.Shift = b[2]
+		s.Options = append(s.Options, o)
 	case OptTimestamps:
 		if len(b) != 10 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &TimestampsOption{
-			Val:  binary.BigEndian.Uint32(b[2:6]),
-			Echo: binary.BigEndian.Uint32(b[6:10]),
-		}, nil
+		s.AppendTimestamps(binary.BigEndian.Uint32(b[2:6]), binary.BigEndian.Uint32(b[6:10]))
 	case OptSACKPermitted:
 		if len(b) != 2 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &SACKPermittedOption{}, nil
+		s.Options = append(s.Options, s.newSACKPermitted())
 	case OptSACK:
 		if (len(b)-2)%8 != 0 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		o := &SACKOption{}
-		for i := 2; i < len(b); i += 8 {
-			o.Blocks = append(o.Blocks, SACKBlock{
-				Left:  SeqNum(binary.BigEndian.Uint32(b[i:])),
-				Right: SeqNum(binary.BigEndian.Uint32(b[i+4:])),
-			})
+		o := s.newSACK((len(b) - 2) / 8)
+		for i := range o.Blocks {
+			o.Blocks[i] = SACKBlock{
+				Left:  SeqNum(binary.BigEndian.Uint32(b[2+8*i:])),
+				Right: SeqNum(binary.BigEndian.Uint32(b[6+8*i:])),
+			}
 		}
-		return o, nil
+		s.Options = append(s.Options, o)
 	case OptMPTCP:
-		return decodeMPTCP(b)
+		return decodeMPTCPInto(s, b)
 	default:
 		// Unknown options are preserved so that "pass options you don't
 		// understand" middlebox behaviour can be modeled; for simplicity we
 		// drop them here since our endpoints never emit unknown kinds.
-		return nil, nil
 	}
+	return nil
 }
 
-func decodeMPTCP(b []byte) (Option, error) {
+func decodeMPTCPInto(s *Segment, b []byte) error {
 	if len(b) < 3 {
-		return nil, ErrBadOption
+		return ErrBadOption
 	}
 	sub := MPTCPSubtype(b[2] >> 4)
 	switch sub {
 	case SubMPCapable:
 		if len(b) != 12 && len(b) != 20 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		o := &MPCapableOption{
-			Version:          b[2] & 0x0f,
-			ChecksumRequired: b[3]&0x80 != 0,
-			SenderKey:        binary.BigEndian.Uint64(b[4:12]),
-		}
+		o := s.newMPCapable()
+		o.Version = b[2] & 0x0f
+		o.ChecksumRequired = b[3]&0x80 != 0
+		o.SenderKey = binary.BigEndian.Uint64(b[4:12])
 		if len(b) == 20 {
 			o.HasReceiverKey = true
 			o.ReceiverKey = binary.BigEndian.Uint64(b[12:20])
 		}
-		return o, nil
+		s.Options = append(s.Options, o)
 	case SubMPJoin:
+		o := s.newMPJoin()
 		switch len(b) {
 		case 12:
-			return &MPJoinOption{
-				Phase:         JoinSYN,
-				Backup:        b[2]&0x01 != 0,
-				AddrID:        b[3],
-				ReceiverToken: binary.BigEndian.Uint32(b[4:8]),
-				SenderNonce:   binary.BigEndian.Uint32(b[8:12]),
-			}, nil
+			o.Phase = JoinSYN
+			o.Backup = b[2]&0x01 != 0
+			o.AddrID = b[3]
+			o.ReceiverToken = binary.BigEndian.Uint32(b[4:8])
+			o.SenderNonce = binary.BigEndian.Uint32(b[8:12])
 		case 16:
-			return &MPJoinOption{
-				Phase:       JoinSYNACK,
-				Backup:      b[2]&0x01 != 0,
-				AddrID:      b[3],
-				SenderHMAC:  append([]byte(nil), b[4:12]...),
-				SenderNonce: binary.BigEndian.Uint32(b[12:16]),
-			}, nil
+			o.Phase = JoinSYNACK
+			o.Backup = b[2]&0x01 != 0
+			o.AddrID = b[3]
+			o.SenderHMAC = s.arenaBytes(8)
+			copy(o.SenderHMAC, b[4:12])
+			o.SenderNonce = binary.BigEndian.Uint32(b[12:16])
 		case 24:
-			return &MPJoinOption{
-				Phase:      JoinACK,
-				SenderHMAC: append([]byte(nil), b[4:24]...),
-			}, nil
+			o.Phase = JoinACK
+			o.SenderHMAC = s.arenaBytes(20)
+			copy(o.SenderHMAC, b[4:24])
 		default:
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
+		s.Options = append(s.Options, o)
 	case SubDSS:
+		if len(b) < 4 {
+			return ErrBadOption
+		}
 		flags := b[3]
-		o := &DSSOption{DataFIN: flags&0x10 != 0}
+		o := s.NewDSSOption()
+		o.DataFIN = flags&0x10 != 0
 		off := 4
 		if flags&0x01 != 0 {
 			ackLen := 4
@@ -364,7 +396,7 @@ func decodeMPTCP(b []byte) (Option, error) {
 				ackLen = 8
 			}
 			if len(b) < off+ackLen {
-				return nil, ErrBadOption
+				return ErrBadOption
 			}
 			o.HasDataACK = true
 			if ackLen == 8 {
@@ -380,7 +412,7 @@ func decodeMPTCP(b []byte) (Option, error) {
 				dsnLen = 8
 			}
 			if len(b) < off+dsnLen+6 {
-				return nil, ErrBadOption
+				return ErrBadOption
 			}
 			o.HasMapping = true
 			if dsnLen == 8 {
@@ -398,41 +430,48 @@ func decodeMPTCP(b []byte) (Option, error) {
 				o.Checksum = binary.BigEndian.Uint16(b[off:])
 			}
 		}
-		return o, nil
+		s.Options = append(s.Options, o)
 	case SubAddAddr:
 		if len(b) != 8 && len(b) != 10 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		o := &AddAddrOption{
-			AddrID: b[3],
-			Addr:   Addr(binary.BigEndian.Uint32(b[4:8])),
-		}
+		o := s.newAddAddr()
+		o.AddrID = b[3]
+		o.Addr = Addr(binary.BigEndian.Uint32(b[4:8]))
 		if len(b) == 10 {
 			o.Port = binary.BigEndian.Uint16(b[8:10])
 		}
-		return o, nil
+		s.Options = append(s.Options, o)
 	case SubRemoveAddr:
 		if len(b) < 4 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &RemoveAddrOption{AddrIDs: append([]uint8(nil), b[3:]...)}, nil
+		o := s.newRemoveAddr(len(b) - 3)
+		copy(o.AddrIDs, b[3:])
+		s.Options = append(s.Options, o)
 	case SubMPPrio:
-		o := &MPPrioOption{Backup: b[2]&0x01 != 0}
+		o := s.newMPPrio()
+		o.Backup = b[2]&0x01 != 0
 		if len(b) >= 4 {
 			o.AddrID = b[3]
 		}
-		return o, nil
+		s.Options = append(s.Options, o)
 	case SubMPFail:
 		if len(b) != 12 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &MPFailOption{DataSeq: DataSeq(binary.BigEndian.Uint64(b[4:12]))}, nil
+		o := s.newMPFail()
+		o.DataSeq = DataSeq(binary.BigEndian.Uint64(b[4:12]))
+		s.Options = append(s.Options, o)
 	case SubFastclose:
 		if len(b) != 12 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
-		return &FastcloseOption{ReceiverKey: binary.BigEndian.Uint64(b[4:12])}, nil
+		o := s.newFastclose()
+		o.ReceiverKey = binary.BigEndian.Uint64(b[4:12])
+		s.Options = append(s.Options, o)
 	default:
-		return nil, fmt.Errorf("%w: MPTCP subtype %d", ErrBadOption, sub)
+		return fmt.Errorf("%w: MPTCP subtype %d", ErrBadOption, sub)
 	}
+	return nil
 }

@@ -48,6 +48,14 @@ type Endpoint struct {
 	queuedBytes        int      // payload bytes across both queues
 	queuedPayloadTotal uint64   // cumulative payload bytes ever queued
 
+	// chunkFree and dssFree recycle chunk structs and the DSS options
+	// attached to them once their retransmission lifetime ends (fully
+	// acknowledged, popped from the queues). Together with the send-queue
+	// ByteQueue and the segment/payload pools this makes the steady-state
+	// send path allocation-free.
+	chunkFree []*chunk
+	dssFree   []*packet.DSSOption
+
 	// sndBuf holds the queued payload bytes exactly once; chunks reference
 	// ranges of it (see chunk in tcp.go). Its head is trimmed as the
 	// cumulative acknowledgement advances.
@@ -161,7 +169,8 @@ func DialFrom(iface *netem.Interface, local, remote packet.Endpoint, cfg Config,
 	e.iss = packet.SeqNum(e.sim.RNG().Uint32())
 	e.sndUna, e.sndNxt = e.iss, e.iss
 	e.setState(StateSynSent)
-	syn := &chunk{seq: e.sndNxt, syn: true}
+	syn := e.newChunk()
+	syn.seq, syn.syn = e.sndNxt, true
 	e.sndNxt = e.sndNxt.Add(1)
 	e.retransQ = append(e.retransQ, syn)
 	e.transmitChunk(syn, false)
@@ -185,7 +194,8 @@ func accept(iface *netem.Interface, syn *packet.Segment, cfg Config, hooks Hooks
 	e.iss = packet.SeqNum(e.sim.RNG().Uint32())
 	e.sndUna, e.sndNxt = e.iss, e.iss
 	e.hooks.OnSegmentReceived(e, syn)
-	synack := &chunk{seq: e.sndNxt, syn: true}
+	synack := e.newChunk()
+	synack.seq, synack.syn = e.sndNxt, true
 	e.sndNxt = e.sndNxt.Add(1)
 	e.retransQ = append(e.retransQ, synack)
 	e.transmitChunk(synack, false)
@@ -407,7 +417,9 @@ func (e *Endpoint) Write(data []byte) int {
 	e.sndBuf.Append(data)
 	for n := accepted; n > 0; {
 		l := minInt(mss, n)
-		e.enqueueChunk(&chunk{payOff: off, payLen: l})
+		c := e.newChunk()
+		c.payOff, c.payLen = off, l
+		e.enqueueChunk(c)
 		off += uint64(l)
 		n -= l
 	}
@@ -415,19 +427,61 @@ func (e *Endpoint) Write(data []byte) int {
 	return accepted
 }
 
-// SendChunk queues exactly one pre-segmented chunk of payload with its
-// accompanying options (the MPTCP data path). It returns false if the chunk
-// does not fit the send buffer.
-func (e *Endpoint) SendChunk(payload []byte, opts []packet.Option) bool {
+// admitChunk runs the shared admission test for a pre-segmented chunk and,
+// when the payload is accepted, appends it to the send buffer and returns a
+// fresh chunk referencing it. The buffer-space test deliberately lets a
+// chunk through when both queues are empty so a sender can always make
+// progress (the MPTCP layer sizes chunks to the connection-level window).
+func (e *Endpoint) admitChunk(payload []byte) (*chunk, bool) {
 	if e.state == StateClosed || e.finQueued || e.err != nil {
-		return false
+		return nil, false
 	}
 	if len(payload) > e.SendBufferSpace() && len(e.sendQueue)+len(e.retransQ) > 0 {
-		return false
+		return nil, false
 	}
 	off := e.sndBuf.TailOffset()
 	e.sndBuf.Append(payload)
-	e.enqueueChunk(&chunk{payOff: off, payLen: len(payload), opts: opts})
+	c := e.newChunk()
+	c.payOff, c.payLen = off, len(payload)
+	return c, true
+}
+
+// SendChunk queues exactly one pre-segmented chunk of payload with its
+// accompanying options (the MPTCP data path). It returns false if the chunk
+// does not fit the send buffer. Ownership of the option objects transfers to
+// the endpoint: they are recycled once the chunk is fully acknowledged, so
+// callers must not retain them.
+func (e *Endpoint) SendChunk(payload []byte, opts []packet.Option) bool {
+	c, ok := e.admitChunk(payload)
+	if !ok {
+		return false
+	}
+	c.opts = append(c.opts[:0], opts...)
+	c.ownsOpts = len(opts) > 0
+	e.enqueueChunk(c)
+	e.output()
+	return true
+}
+
+// SendChunkWithOpt is SendChunk for the common single-option case (a data
+// chunk carrying its DSS mapping); it avoids materializing an option slice
+// per chunk. opt may be nil. Ownership of opt transfers to the endpoint in
+// all cases: on success it is recycled when the chunk's retransmission
+// lifetime ends, on failure immediately — callers must not touch the
+// option after the call either way.
+func (e *Endpoint) SendChunkWithOpt(payload []byte, opt packet.Option) bool {
+	c, ok := e.admitChunk(payload)
+	if !ok {
+		if d, isDSS := opt.(*packet.DSSOption); isDSS {
+			e.recycleDSS(d)
+		}
+		return false
+	}
+	if opt != nil {
+		c.opts = append(c.opts[:0], opt)
+		c.ownsOpts = true
+	}
+	e.enqueueChunk(c)
 	e.output()
 	return true
 }
@@ -463,7 +517,9 @@ func (e *Endpoint) Close() {
 		return
 	}
 	e.finQueued = true
-	e.enqueueChunk(&chunk{fin: true, payOff: e.sndBuf.TailOffset()})
+	fin := e.newChunk()
+	fin.fin, fin.payOff = true, e.sndBuf.TailOffset()
+	e.enqueueChunk(fin)
 	e.output()
 }
 
@@ -519,6 +575,77 @@ func (e *Endpoint) enqueueChunk(c *chunk) {
 	e.sendQueue = append(e.sendQueue, c)
 	e.queuedBytes += c.payLen
 	e.queuedPayloadTotal += uint64(c.payLen)
+}
+
+// popChunk removes and returns the head of a chunk queue via the shared
+// compacting drain (see buffer.CompactPrefix); batch drains compact once
+// for the whole batch instead.
+func popChunk(q []*chunk) ([]*chunk, *chunk) {
+	c := q[0]
+	return buffer.CompactPrefix(q, 1), c
+}
+
+// chunkFreeCap and dssFreeCap bound the per-endpoint free lists; a 256 KiB
+// send buffer holds at most ~180 MSS chunks, so these caps cover the deepest
+// configured windows with headroom while keeping idle endpoints small.
+const (
+	chunkFreeCap = 512
+	dssFreeCap   = 512
+)
+
+// newChunk returns a zeroed chunk, recycled from the endpoint's free list
+// when possible (the opts slice retains its capacity across reuses).
+func (e *Endpoint) newChunk() *chunk {
+	if n := len(e.chunkFree); n > 0 {
+		c := e.chunkFree[n-1]
+		e.chunkFree[n-1] = nil
+		e.chunkFree = e.chunkFree[:n-1]
+		return c
+	}
+	return &chunk{}
+}
+
+// freeChunk ends a chunk's retransmission lifetime: option objects the chunk
+// owns go back to their free lists, and the chunk itself is zeroed and
+// retained for reuse. Callers must not touch the chunk afterwards.
+func (e *Endpoint) freeChunk(c *chunk) {
+	if c.ownsOpts {
+		for _, o := range c.opts {
+			if d, ok := o.(*packet.DSSOption); ok {
+				e.recycleDSS(d)
+			}
+		}
+	}
+	for i := range c.opts {
+		c.opts[i] = nil
+	}
+	opts := c.opts[:0]
+	*c = chunk{opts: opts}
+	if len(e.chunkFree) < chunkFreeCap {
+		e.chunkFree = append(e.chunkFree, c)
+	}
+}
+
+// NewDSSOption returns a zeroed DSS option from the endpoint's free list.
+// Ownership transfers to the endpoint when the option is attached to a chunk
+// via SendChunkWithOpt; the endpoint recycles it once the chunk's data has
+// been fully acknowledged. Callers must not retain the pointer beyond the
+// SendChunkWithOpt call.
+func (e *Endpoint) NewDSSOption() *packet.DSSOption {
+	if n := len(e.dssFree); n > 0 {
+		d := e.dssFree[n-1]
+		e.dssFree[n-1] = nil
+		e.dssFree = e.dssFree[:n-1]
+		return d
+	}
+	return &packet.DSSOption{}
+}
+
+func (e *Endpoint) recycleDSS(d *packet.DSSOption) {
+	*d = packet.DSSOption{}
+	if len(e.dssFree) < dssFreeCap {
+		e.dssFree = append(e.dssFree, d)
+	}
 }
 
 // teardown releases host resources and reports the terminal error.

@@ -73,10 +73,12 @@ func (e *Endpoint) handleSynSent(seg *packet.Segment) {
 	// Remove the SYN chunk from the retransmission queue and take an RTT
 	// sample from the handshake.
 	if len(e.retransQ) > 0 && e.retransQ[0].syn {
-		if e.retransQ[0].transmissions == 1 {
-			e.sampleRTT(e.sim.Now() - e.retransQ[0].sentAt)
+		var c *chunk
+		e.retransQ, c = popChunk(e.retransQ)
+		if c.transmissions == 1 {
+			e.sampleRTT(e.sim.Now() - c.sentAt)
 		}
-		e.retransQ = e.retransQ[1:]
+		e.freeChunk(c)
 	}
 	e.rtoTimer.Stop()
 	e.setState(StateEstablished)
@@ -107,10 +109,12 @@ func (e *Endpoint) handleSynReceived(seg *packet.Segment) {
 	e.sndWnd = int(seg.Window) << uint(e.peerWndShift)
 	e.recvQueue = buffer.NewByteQueue(0)
 	if len(e.retransQ) > 0 && e.retransQ[0].syn {
-		if e.retransQ[0].transmissions == 1 {
-			e.sampleRTT(e.sim.Now() - e.retransQ[0].sentAt)
+		var c *chunk
+		e.retransQ, c = popChunk(e.retransQ)
+		if c.transmissions == 1 {
+			e.sampleRTT(e.sim.Now() - c.sentAt)
 		}
-		e.retransQ = e.retransQ[1:]
+		e.freeChunk(c)
 	}
 	e.rtoTimer.Stop()
 	e.setState(StateEstablished)

@@ -50,10 +50,12 @@ func (e *Endpoint) pruneSackRanges() {
 	e.sackRanges = out
 }
 
-// sackOption builds the SACK option for an outgoing ACK (at most three
-// blocks, most recently changed ranges first is approximated by reporting
-// the lowest ranges, which is what matters for hole repair).
-func (e *Endpoint) sackOption() *packet.SACKOption {
+// sackBlocks returns the blocks to advertise on an outgoing ACK (at most
+// three, most recently changed ranges first is approximated by reporting the
+// lowest ranges, which is what matters for hole repair). The returned slice
+// aliases the endpoint's range list; makeSegment copies it into the
+// segment's option arena.
+func (e *Endpoint) sackBlocks() []packet.SACKBlock {
 	if !e.peerSackOK || len(e.sackRanges) == 0 {
 		return nil
 	}
@@ -61,9 +63,7 @@ func (e *Endpoint) sackOption() *packet.SACKOption {
 	if n > 3 {
 		n = 3
 	}
-	blocks := make([]packet.SACKBlock, n)
-	copy(blocks, e.sackRanges[:n])
-	return &packet.SACKOption{Blocks: blocks}
+	return e.sackRanges[:n]
 }
 
 // processSack marks retransmission-queue chunks covered by the peer's SACK

@@ -3,12 +3,16 @@ package tcp
 import (
 	"time"
 
+	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/pool"
 )
 
 // makeSegment builds an outgoing segment with the current acknowledgement and
-// advertised window.
+// advertised window. Options are deep-copied into the segment's own arena —
+// an in-flight segment never aliases the chunk's retransmission state, which
+// is what lets the endpoint recycle chunks and their DSS options the moment
+// they are fully acknowledged.
 func (e *Endpoint) makeSegment(flags packet.Flags, seq packet.SeqNum, payload []byte, opts []packet.Option) *packet.Segment {
 	seg := packet.NewSegment()
 	seg.Src = e.local
@@ -16,8 +20,8 @@ func (e *Endpoint) makeSegment(flags packet.Flags, seq packet.SeqNum, payload []
 	seg.Seq = seq
 	seg.Flags = flags
 	seg.Payload = payload
-	if len(opts) > 0 {
-		seg.Options = append(seg.Options, opts...)
+	for _, o := range opts {
+		seg.AppendOptionCopy(o)
 	}
 	// Every segment carries an acknowledgement except the very first SYN of
 	// an active open (no peer sequence is known yet).
@@ -25,17 +29,14 @@ func (e *Endpoint) makeSegment(flags packet.Flags, seq packet.SeqNum, payload []
 		seg.Flags |= packet.FlagACK
 		seg.Ack = e.rcvNxt
 		if !flags.Has(packet.FlagSYN) {
-			if sack := e.sackOption(); sack != nil {
-				seg.Options = append(seg.Options, sack)
+			if blocks := e.sackBlocks(); len(blocks) > 0 {
+				seg.AppendSACK(blocks)
 			}
 		}
 	}
 	// Timestamps provide retransmission-ambiguity-free RTT samples.
 	if !e.cfg.DisableTimestamps && (flags.Has(packet.FlagSYN) || e.peerTSOK) {
-		seg.Options = append(seg.Options, &packet.TimestampsOption{
-			Val:  uint32(e.sim.Now() / time.Millisecond),
-			Echo: e.tsRecent,
-		})
+		seg.AppendTimestamps(uint32(e.sim.Now()/time.Millisecond), e.tsRecent)
 	}
 	seg.Window = e.windowField(flags.Has(packet.FlagSYN))
 	return seg
@@ -176,8 +177,9 @@ func (e *Endpoint) output() {
 	if !e.IsEstablished() && e.state != StateClosing && e.state != StateLastAck {
 		return
 	}
-	for len(e.sendQueue) > 0 {
-		c := e.sendQueue[0]
+	popped := 0
+	for popped < len(e.sendQueue) {
+		c := e.sendQueue[popped]
 		allowance := e.SendSpace()
 		if c.payLen > 0 && allowance < c.payLen && e.BytesInFlight() > 0 {
 			// Not enough room for the whole chunk; wait for ACKs (sending
@@ -194,7 +196,7 @@ func (e *Endpoint) output() {
 			e.armPersist()
 			break
 		}
-		e.sendQueue = e.sendQueue[1:]
+		popped++
 		c.seq = e.sndNxt
 		e.sndNxt = e.sndNxt.Add(c.seqLen())
 		e.retransQ = append(e.retransQ, c)
@@ -205,6 +207,11 @@ func (e *Endpoint) output() {
 		if e.firstUnackedSince == 0 {
 			e.firstUnackedSince = e.sim.Now()
 		}
+	}
+	if popped > 0 {
+		// Compact once for the whole burst (per-pop compaction would make a
+		// full-buffer drain quadratic in the window, like the ACK loop).
+		e.sendQueue = buffer.CompactPrefix(e.sendQueue, popped)
 	}
 	if len(e.retransQ) > 0 {
 		e.rtoTimer.ResetIfStopped(e.backedOffRTO())
@@ -295,8 +302,9 @@ func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
 	// acknowledgement, and only if it was never retransmitted (Karn's
 	// algorithm); sampling older chunks would inflate the estimate whenever
 	// a cumulative ACK jumps across a repaired hole.
-	for len(e.retransQ) > 0 {
-		c := e.retransQ[0]
+	freed := 0
+	for freed < len(e.retransQ) {
+		c := e.retransQ[freed]
 		if c.endSeq().LessThanEq(ack) {
 			if !e.peerTSOK {
 				if c.transmissions == 1 {
@@ -307,7 +315,12 @@ func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
 			}
 			e.queuedBytes -= c.payLen
 			e.sndBuf.TrimTo(c.payOff + uint64(c.payLen))
-			e.retransQ = e.retransQ[1:]
+			// The chunk's retransmission lifetime is over: nothing else
+			// references it (segments carry arena copies of its options), so
+			// it and its DSS options go back to the free lists. Its queue
+			// slot is cleared by the compaction below.
+			e.freeChunk(c)
+			freed++
 			continue
 		}
 		// Partial chunk acknowledgement (middleboxes may resegment): trim.
@@ -323,6 +336,12 @@ func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
 			e.sndBuf.TrimTo(c.payOff)
 		}
 		break
+	}
+	if freed > 0 {
+		// Compact once for the whole batch (a cumulative ACK after a stall
+		// can retire the entire queue); per-pop compaction would make this
+		// loop quadratic in the window.
+		e.retransQ = buffer.CompactPrefix(e.retransQ, freed)
 	}
 
 	if rttSample > 0 {
@@ -487,8 +506,12 @@ func (e *Endpoint) onPersist() {
 	c := e.sendQueue[0]
 	if c.payLen > 1 {
 		// Split off a one-byte probe chunk that carries the same options so
-		// any attached MPTCP mapping still covers its byte range.
-		probe := &chunk{payOff: c.payOff, payLen: 1, opts: c.opts}
+		// any attached MPTCP mapping still covers its byte range. The probe
+		// borrows the owner's option objects (ownsOpts stays false): the
+		// owning chunk outlives it in the queues, so the owner frees them.
+		probe := e.newChunk()
+		probe.payOff, probe.payLen = c.payOff, 1
+		probe.opts = append(probe.opts[:0], c.opts...)
 		c.payOff++
 		c.payLen--
 		probe.seq = e.sndNxt
@@ -496,7 +519,7 @@ func (e *Endpoint) onPersist() {
 		e.retransQ = append(e.retransQ, probe)
 		e.transmitChunk(probe, false)
 	} else {
-		e.sendQueue = e.sendQueue[1:]
+		e.sendQueue, _ = popChunk(e.sendQueue)
 		c.seq = e.sndNxt
 		e.sndNxt = e.sndNxt.Add(c.seqLen())
 		e.retransQ = append(e.retransQ, c)

@@ -230,6 +230,16 @@ type chunk struct {
 	syn    bool
 	fin    bool
 
+	// ownsOpts marks the option objects in opts as owned by this chunk:
+	// when the chunk's retransmission lifetime ends (fully acknowledged and
+	// popped from the queues) the endpoint recycles them onto its free
+	// lists. Chunks that borrow another chunk's options (the zero-window
+	// probe split) leave it false so the owner frees them exactly once.
+	// Outgoing segments never alias these objects — makeSegment copies every
+	// option into the segment's own arena — so recycling here cannot corrupt
+	// in-flight traffic.
+	ownsOpts bool
+
 	sentAt        time.Duration
 	transmissions int
 
