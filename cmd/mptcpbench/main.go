@@ -8,6 +8,7 @@
 //	mptcpbench -run all -quick
 //	mptcpbench -run fig3 -quick -format json -out BENCH_fig3.json
 //	mptcpbench -scenario fleet-http -clients 1000 -workers 8
+//	mptcpbench -scenario fleet-openloop -rate 400 -duration 5s -sizedist webmix
 //	mptcpbench -scenario incast -quick -format json
 //
 // Each experiment produces the same rows/series the corresponding figure in
@@ -31,12 +32,13 @@ import (
 
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/fleet"
+	"mptcpgo/internal/workload"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
-	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | incast | mixed")
+	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | fleet-openloop | incast | mixed")
 	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
 	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed; 0 is a legal seed)")
 	format := flag.String("format", "text", "output format: text | json | csv")
@@ -46,6 +48,10 @@ func main() {
 	shards := flag.Int("shards", 0, "fleet shard count (0 = one shard per 64 members)")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS; never changes the output)")
 	pcapDir := flag.String("pcap-dir", "", "capture wire traffic into this directory: one classic pcap per fleet shard (-scenario) or per middlebox-matrix case (-run mbox); capture never changes results")
+	rate := flag.Float64("rate", 0, "fleet-openloop: fleet-wide mean arrival rate in flows/s (0 = scenario default)")
+	duration := flag.Duration("duration", 0, "fleet-openloop: arrival window of simulated time (0 = scenario default)")
+	sizeDist := flag.String("sizedist", "webmix", "fleet-openloop: flow-size distribution: fixed:<bytes> | lognormal:<mu>,<sigma> | pareto:<alpha>,<lo>,<hi> | webmix")
+	arrival := flag.String("arrival", "poisson", "fleet-openloop: arrival process: poisson | fixed | onoff[:on_ms,off_ms]")
 	flag.Parse()
 
 	switch *format {
@@ -64,7 +70,11 @@ func main() {
 		if *paperEra {
 			fail(fmt.Errorf("-paper-era-cpu does not apply to fleet scenarios"))
 		}
-		res, elapsed, err := runScenario(*scenario, *seed, *clients, *shards, *workers, *quick, *pcapDir)
+		res, elapsed, err := runScenario(*scenario, scenarioOptions{
+			seed: *seed, members: *clients, shards: *shards, workers: *workers,
+			quick: *quick, pcapDir: *pcapDir,
+			rate: *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -82,9 +92,10 @@ func main() {
 			fmt.Printf("  %-10s %s\n", id, e.Title)
 		}
 		fmt.Println("available fleet scenarios (-scenario):")
-		fmt.Println("  fleet-http 1000+ closed-loop clients against sharded server replicas")
-		fmt.Println("  incast     synchronized many-to-one fan-in over the N-host graph")
-		fmt.Println("  mixed      MPTCP foreground vs plain-TCP background traffic")
+		fmt.Println("  fleet-http     1000+ closed-loop clients against sharded server replicas")
+		fmt.Println("  fleet-openloop open-loop arrivals (-rate/-arrival) with drawn flow sizes (-sizedist)")
+		fmt.Println("  incast         synchronized many-to-one fan-in over the N-host graph")
+		fmt.Println("  mixed          MPTCP foreground vs plain-TCP background traffic")
 		if *run == "" && !*list {
 			fmt.Println("\nuse -run <id> (or -run all) to execute one")
 		}
@@ -117,51 +128,97 @@ func main() {
 	writeResults(*out, *format, results)
 }
 
+// scenarioOptions carries the CLI sizing for one fleet scenario run.
+type scenarioOptions struct {
+	seed            uint64
+	members         int
+	shards, workers int
+	quick           bool
+	pcapDir         string
+
+	// fleet-openloop only.
+	rate     float64
+	window   time.Duration
+	sizeDist string
+	arrival  string
+}
+
 // runScenario dispatches one fleet scenario with CLI sizing applied.
-func runScenario(name string, seed uint64, members, shards, workers int, quick bool, pcapDir string) (*experiments.Result, time.Duration, error) {
+func runScenario(name string, o scenarioOptions) (*experiments.Result, time.Duration, error) {
 	start := time.Now()
 	var res *experiments.Result
 	var err error
 	switch name {
 	case "fleet-http":
 		n, requests, size := 1000, 2, 32<<10
-		if quick {
+		if o.quick {
 			n, requests, size = 64, 1, 16<<10
 		}
-		if members > 0 {
-			n = members
+		if o.members > 0 {
+			n = o.members
 		}
-		spec := fleet.DefaultHTTPSpec(seed, n, requests, size)
-		spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = shards, workers, quick, pcapDir
+		spec := fleet.DefaultHTTPSpec(o.seed, n, requests, size)
+		spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = o.shards, o.workers, o.quick, o.pcapDir
 		res, err = fleet.RunHTTP(spec)
+	case "fleet-openloop":
+		res, err = runOpenLoopScenario(o)
 	case "incast":
 		n, block := 256, 256<<10
-		if quick {
+		if o.quick {
 			n, block = 32, 128<<10
 		}
-		if members > 0 {
-			n = members
+		if o.members > 0 {
+			n = o.members
 		}
 		res, err = fleet.RunIncast(fleet.IncastSpec{
-			Seed: seed, Senders: n, BlockSize: block,
-			Shards: shards, Workers: workers, Quick: quick, PcapDir: pcapDir,
+			Seed: o.seed, Senders: n, BlockSize: block,
+			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
 		})
 	case "mixed":
 		n, dur := 32, 5*time.Second
-		if quick {
+		if o.quick {
 			n, dur = 8, 2*time.Second
 		}
-		if members > 0 {
-			n = members
+		if o.members > 0 {
+			n = o.members
 		}
 		res, err = fleet.RunMixed(fleet.MixedSpec{
-			Seed: seed, Pairs: n, Duration: dur,
-			Shards: shards, Workers: workers, Quick: quick, PcapDir: pcapDir,
+			Seed: o.seed, Pairs: n, Duration: dur,
+			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
 		})
 	default:
-		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, incast or mixed)", name)
+		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, fleet-openloop, incast or mixed)", name)
 	}
 	return res, time.Since(start), err
+}
+
+// runOpenLoopScenario resolves the open-loop flags into an OpenLoopSpec.
+func runOpenLoopScenario(o scenarioOptions) (*experiments.Result, error) {
+	hosts, rate, window := 256, 400.0, 5*time.Second
+	if o.quick {
+		hosts, rate, window = 32, 60.0, 2*time.Second
+	}
+	if o.members > 0 {
+		hosts = o.members
+	}
+	if o.rate > 0 {
+		rate = o.rate
+	}
+	if o.window > 0 {
+		window = o.window
+	}
+	arrival, err := workload.ParseArrival(o.arrival, rate)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := workload.ParseSizeDist(o.sizeDist)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.RunOpenLoop(fleet.OpenLoopSpec{
+		Seed: o.seed, Hosts: hosts, Arrival: arrival, Sizes: sizes, Window: window,
+		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+	})
 }
 
 // writeResults encodes results to the -out file or stdout.

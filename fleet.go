@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"mptcpgo/internal/fleet"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/workload"
 )
 
 // ClientGroup declares a homogeneous group of closed-loop HTTP clients in a
@@ -128,6 +130,112 @@ func (f *Fleet) Run() (*Result, error) {
 		}
 	}
 	return fleet.RunHTTP(spec)
+}
+
+// OpenLoop is the open-loop counterpart of Fleet: instead of a fixed
+// closed-loop client population, a fleet-wide arrival process (Poisson by
+// default) injects flows across the arrival hosts at a configured rate, each
+// flow fetches a size drawn from a distribution, and flows that outlive the
+// flow deadline are dropped. Because arrivals never wait for completions the
+// offered load is a free parameter — rates past capacity produce measurable
+// overload (latency tails, drops) instead of a self-limiting slowdown. The
+// merged Result is byte-identical at any worker count for a fixed seed,
+// host count and shard count.
+type OpenLoop struct {
+	spec fleet.OpenLoopSpec
+	// arrivalSpec remembers the last process family chosen via Arrival, so
+	// Rate can re-parameterize it instead of silently switching families.
+	arrivalSpec string
+	err         error
+}
+
+// NewOpenLoop starts an open-loop scenario with the given root seed: 64
+// arrival hosts on the stock heterogeneous access mix, Poisson arrivals at
+// 100 flows/s fleet-wide, web-mix sizes, a 5 s arrival window and a 10 s
+// flow deadline. Override with the chained setters.
+func NewOpenLoop(seed uint64) *OpenLoop {
+	return &OpenLoop{spec: fleet.OpenLoopSpec{Seed: seed, Hosts: 64}}
+}
+
+// Hosts sets the number of arrival hosts (each on its own access link).
+func (o *OpenLoop) Hosts(n int) *OpenLoop {
+	if n <= 0 {
+		o.fail(fmt.Errorf("mptcpgo: open-loop fleet needs at least one host, got %d", n))
+		return o
+	}
+	o.spec.Hosts = n
+	return o
+}
+
+// Rate sets the fleet-wide mean arrival rate in flows per second, keeping
+// the current process family (Poisson unless Arrival chose another).
+func (o *OpenLoop) Rate(perSec float64) *OpenLoop {
+	spec := o.arrivalSpec
+	if spec == "" {
+		spec = "poisson"
+	}
+	return o.Arrival(spec, perSec)
+}
+
+// Arrival selects the arrival process by spec — "poisson", "fixed" or
+// "onoff[:on_ms,off_ms]" — with the given fleet-wide mean rate in flows/s.
+func (o *OpenLoop) Arrival(spec string, perSec float64) *OpenLoop {
+	p, err := workload.ParseArrival(spec, perSec)
+	if err != nil {
+		o.fail(err)
+		return o
+	}
+	o.arrivalSpec = spec
+	o.spec.Arrival = p
+	return o
+}
+
+// SizeDist selects the flow-size distribution by spec: "fixed:<bytes>",
+// "lognormal:<mu>,<sigma>", "pareto:<alpha>,<lo>,<hi>" or "webmix".
+func (o *OpenLoop) SizeDist(spec string) *OpenLoop {
+	d, err := workload.ParseSizeDist(spec)
+	if err != nil {
+		o.fail(err)
+		return o
+	}
+	o.spec.Sizes = d
+	return o
+}
+
+// Window sets the arrival window (how long the process injects flows).
+func (o *OpenLoop) Window(d time.Duration) *OpenLoop { o.spec.Window = d; return o }
+
+// FlowDeadline sets the per-flow drop deadline; flows that have not
+// completed this long after arrival are aborted and counted as dropped.
+func (o *OpenLoop) FlowDeadline(d time.Duration) *OpenLoop { o.spec.FlowDeadline = d; return o }
+
+// Link overrides the access link template for arrival host i.
+func (o *OpenLoop) Link(f func(i int) Link) *OpenLoop {
+	o.spec.Link = func(i int) netem.PathConfig { return f(i).toPathConfig() }
+	return o
+}
+
+// Shards fixes the shard count (part of the scenario, like Fleet.Shards).
+func (o *OpenLoop) Shards(n int) *OpenLoop { o.spec.Shards = n; return o }
+
+// Workers bounds parallel shard execution; never changes the merged result.
+func (o *OpenLoop) Workers(n int) *OpenLoop { o.spec.Workers = n; return o }
+
+// Label overrides the result title.
+func (o *OpenLoop) Label(s string) *OpenLoop { o.spec.Label = s; return o }
+
+func (o *OpenLoop) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// Run executes the sharded open-loop workload and returns the merged result.
+func (o *OpenLoop) Run() (*Result, error) {
+	if o.err != nil {
+		return nil, o.err
+	}
+	return fleet.RunOpenLoop(o.spec)
 }
 
 // connConfigFor resolves a group's connection configuration.

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/httpsim"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/sim"
+	"mptcpgo/internal/trace"
+	"mptcpgo/internal/workload"
+)
+
+// openLoopStream offsets the DeriveSeed stream indices used for per-host
+// workload RNGs, keeping them disjoint from the shard-seed stream space
+// (shard seeds use stream = shard index).
+const openLoopStream = 0x0517_0000
+
+// OpenLoopSpec describes the fleet-openloop scenario: an open-loop HTTP
+// workload where a fleet-wide arrival process injects flows across Hosts
+// client hosts (each on its own access link to a sharded server replica),
+// every flow fetches a size drawn from Sizes, and flows that outlive
+// FlowDeadline are dropped. Because arrivals never wait for completions, the
+// offered load is a free parameter — rates past the fleet's capacity produce
+// measurable overload (rising latency tails, drops, unfinished flows)
+// instead of the closed-loop pools' self-limiting slowdown.
+//
+// Determinism by thinning: the root Arrival process is split host-by-host —
+// host i draws from Arrival.Thin(1/Hosts) using an RNG derived from
+// (Seed, openLoopStream+i) — so the offered schedule depends only on the
+// spec, never on the shard partition or worker scheduling.
+type OpenLoopSpec struct {
+	// Seed is the root RNG seed; shard seeds and per-host workload streams
+	// both derive from it.
+	Seed uint64
+	// Hosts is the number of client hosts (arrival points).
+	Hosts int
+	// Shards partitions the hosts (0 = default partition); Workers bounds
+	// parallel shard execution (0 = GOMAXPROCS; never changes the output).
+	Shards, Workers int
+	// Arrival is the fleet-wide arrival process (nil = Poisson at 100/s).
+	Arrival workload.ArrivalProcess
+	// Sizes draws per-flow transfer sizes (nil = the empirical web mix).
+	Sizes workload.SizeDist
+	// Window is the arrival window (default 5s of simulated time).
+	Window time.Duration
+	// FlowDeadline drops flows that have not completed this long after
+	// arrival (default 10s; <0 disables dropping).
+	FlowDeadline time.Duration
+	// MaxInFlightPerHost sheds arrivals beyond this many concurrent flows on
+	// one host (0 = unlimited).
+	MaxInFlightPerHost int
+	// Link derives host i's access link (nil = DefaultAccessLink).
+	Link func(i int) netem.PathConfig
+	// Conn is the per-flow connection configuration (nil = the fleet-http
+	// default: MPTCP without address advertisement, 128 KB buffers).
+	Conn *core.Config
+	// Server is the listener configuration of every server replica.
+	Server *core.Config
+	// Deadline caps each shard's simulated time (default Window +
+	// FlowDeadline + 5s — past that point every flow has settled).
+	Deadline time.Duration
+	// Label overrides the result title; Quick is recorded in the metadata.
+	Label string
+	Quick bool
+	// PcapDir, when non-empty, captures every shard's wire traffic into
+	// <PcapDir>/fleet-openloop-shard<NNN>.pcap.
+	PcapDir string
+}
+
+// DefaultOpenLoopSpec builds the stock fleet-openloop workload: hosts client
+// hosts on the heterogeneous access mix, Poisson arrivals at rate flows/s
+// fleet-wide, web-mix flow sizes.
+func DefaultOpenLoopSpec(seed uint64, hosts int, rate float64, window time.Duration) OpenLoopSpec {
+	return OpenLoopSpec{
+		Seed:    seed,
+		Hosts:   hosts,
+		Arrival: workload.Poisson(rate),
+		Sizes:   workload.WebMix(),
+		Window:  window,
+	}
+}
+
+func (s OpenLoopSpec) withDefaults() OpenLoopSpec {
+	if s.Arrival == nil {
+		s.Arrival = workload.Poisson(100)
+	}
+	if s.Sizes == nil {
+		s.Sizes = workload.WebMix()
+	}
+	if s.Window <= 0 {
+		s.Window = 5 * time.Second
+	}
+	if s.FlowDeadline == 0 {
+		s.FlowDeadline = 10 * time.Second
+	}
+	if s.FlowDeadline < 0 {
+		s.FlowDeadline = 0
+	}
+	if s.Deadline <= 0 {
+		s.Deadline = s.Window + s.FlowDeadline + 5*time.Second
+		if s.FlowDeadline == 0 {
+			s.Deadline = DefaultDeadline
+		}
+	}
+	if s.Conn == nil {
+		conn := core.DefaultConfig()
+		conn.AdvertiseAddresses = false
+		conn.SendBufBytes = 128 << 10
+		conn.RecvBufBytes = 128 << 10
+		s.Conn = &conn
+	}
+	if s.Server == nil {
+		srv := core.DefaultConfig()
+		srv.AdvertiseAddresses = false
+		s.Server = &srv
+	}
+	return s
+}
+
+// openLoopMerge folds httpsim.OpenLoopResults deterministically (host order
+// within a shard, shard order across the fleet), keeping raw latency samples
+// so fleet percentiles weight flows, not shards.
+type openLoopMerge struct {
+	offered      int
+	offeredBytes uint64
+	completed    int
+	bytes        uint64
+	dropped      int
+	shed         int
+	failed       int
+	unfinished   int
+	window       time.Duration
+	elapsed      time.Duration
+	samples      []float64
+}
+
+func (m *openLoopMerge) add(r httpsim.OpenLoopResult, samples []float64) {
+	m.offered += r.Offered
+	m.offeredBytes += r.OfferedBytes
+	m.completed += r.Completed
+	m.bytes += r.BytesReceived
+	m.dropped += r.Dropped
+	m.shed += r.Shed
+	m.failed += r.Failed
+	m.unfinished += r.Unfinished
+	if r.Window > m.window {
+		m.window = r.Window
+	}
+	if r.Elapsed > m.elapsed {
+		m.elapsed = r.Elapsed
+	}
+	m.samples = append(m.samples, samples...)
+}
+
+func (m *openLoopMerge) merge(other openLoopMerge) {
+	m.offered += other.offered
+	m.offeredBytes += other.offeredBytes
+	m.completed += other.completed
+	m.bytes += other.bytes
+	m.dropped += other.dropped
+	m.shed += other.shed
+	m.failed += other.failed
+	m.unfinished += other.unfinished
+	if other.window > m.window {
+		m.window = other.window
+	}
+	if other.elapsed > m.elapsed {
+		m.elapsed = other.elapsed
+	}
+	m.samples = append(m.samples, other.samples...)
+}
+
+// offeredMbps is the injected load over the arrival window.
+func (m *openLoopMerge) offeredMbps() float64 {
+	if m.window <= 0 {
+		return 0
+	}
+	return float64(m.offeredBytes) * 8 / m.window.Seconds() / 1e6
+}
+
+// goodputMbps is the delivered load over the slowest member's window (the
+// fleet-level elapsed time).
+func (m *openLoopMerge) goodputMbps() float64 {
+	if m.elapsed <= 0 {
+		return 0
+	}
+	return float64(m.bytes) * 8 / m.elapsed.Seconds() / 1e6
+}
+
+// openLoopShardOut is one shard's contribution to the merged result.
+type openLoopShardOut struct {
+	hosts  int
+	merge  openLoopMerge
+	events uint64
+}
+
+// RunOpenLoop executes the fleet-openloop scenario and returns the merged
+// result, byte-identical at any worker count for a fixed spec.
+func RunOpenLoop(spec OpenLoopSpec) (*experiments.Result, error) {
+	spec = spec.withDefaults()
+	if spec.Hosts <= 0 {
+		return nil, fmt.Errorf("fleet: open-loop workload has no hosts")
+	}
+	outs, err := Run(spec.Seed, spec.Hosts, spec.Shards, spec.Workers, func(sh *Shard) (openLoopShardOut, error) {
+		return runOpenLoopShard(&spec, sh)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	title := spec.Label
+	if title == "" {
+		title = fmt.Sprintf("open-loop HTTP workload: %s arrivals, %s sizes",
+			spec.Arrival.Name(), spec.Sizes.Name())
+	}
+	res := &experiments.Result{ID: "fleet-openloop", Title: title, Seed: spec.Seed, Quick: spec.Quick}
+
+	table := experiments.NewTable(
+		fmt.Sprintf("%d arrival hosts across %d shards, %v window", spec.Hosts, len(outs), spec.Window),
+		"shard", "hosts", "offered", "done", "dropped", "shed", "failed", "open",
+		"offered Mbps", "goodput Mbps", "p50 ms", "p99 ms", "events")
+	var total openLoopMerge
+	var totalEvents uint64
+	goodput := make([]float64, len(outs))
+	p99 := make([]float64, len(outs))
+	for i, out := range outs {
+		goodput[i] = out.merge.goodputMbps()
+		p99[i] = trace.Percentile(out.merge.samples, 99)
+		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.hosts),
+			fmt.Sprintf("%d", out.merge.offered), fmt.Sprintf("%d", out.merge.completed),
+			fmt.Sprintf("%d", out.merge.dropped), fmt.Sprintf("%d", out.merge.shed),
+			fmt.Sprintf("%d", out.merge.failed), fmt.Sprintf("%d", out.merge.unfinished),
+			fmt.Sprintf("%.2f", out.merge.offeredMbps()), fmt.Sprintf("%.2f", goodput[i]),
+			fmt.Sprintf("%.2f", trace.Percentile(out.merge.samples, 50)),
+			fmt.Sprintf("%.2f", p99[i]), fmt.Sprintf("%d", out.events))
+		total.merge(out.merge)
+		totalEvents += out.events
+	}
+	table.AddRow("all", fmt.Sprintf("%d", spec.Hosts),
+		fmt.Sprintf("%d", total.offered), fmt.Sprintf("%d", total.completed),
+		fmt.Sprintf("%d", total.dropped), fmt.Sprintf("%d", total.shed),
+		fmt.Sprintf("%d", total.failed), fmt.Sprintf("%d", total.unfinished),
+		fmt.Sprintf("%.2f", total.offeredMbps()), fmt.Sprintf("%.2f", total.goodputMbps()),
+		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 50)),
+		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 99)), fmt.Sprintf("%d", totalEvents))
+	table.AddNote("open-loop: arrivals are injected by the process regardless of completions; dropped = hit the %v flow deadline, shed = refused at the in-flight cap, open = still in flight at the simulation deadline", spec.FlowDeadline)
+	res.AddTable(table)
+	res.AddSeries(ShardSeries("goodput", "Mbps", goodput))
+	res.AddSeries(ShardSeries("latency p99", "ms", p99))
+	return res, nil
+}
+
+// runOpenLoopShard builds one shard: a server replica plus the shard's client
+// hosts, one open-loop pool per host drawing from its thinned arrival stream.
+func runOpenLoopShard(spec *OpenLoopSpec, sh *Shard) (openLoopShardOut, error) {
+	g := netem.GraphSpec{}
+	g.AddHost("server")
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		link := DefaultAccessLink(gi)
+		if spec.Link != nil {
+			link = spec.Link(gi)
+		}
+		g.AddLink(netem.LinkSpec{
+			Name: fmt.Sprintf("access%d", gi),
+			A:    clientHostName(gi), B: "server", Config: link,
+		})
+	}
+	if err := sh.Materialize(g); err != nil {
+		return openLoopShardOut{}, err
+	}
+	closeCapture, err := sh.StartCapture(spec.PcapDir, "fleet-openloop")
+	if err != nil {
+		return openLoopShardOut{}, err
+	}
+	defer closeCapture()
+
+	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
+		return openLoopShardOut{}, err
+	}
+
+	remaining := sh.Members()
+	pools := make([]*httpsim.OpenLoopPool, 0, sh.Members())
+	fraction := 1 / float64(spec.Hosts)
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		mgr := sh.Manager(clientHostName(gi))
+		iface := mgr.Host().Interfaces()[0]
+		pool, err := httpsim.NewOpenLoopPool(mgr, httpsim.OpenLoopConfig{
+			Arrival:      spec.Arrival.Thin(fraction),
+			Sizes:        spec.Sizes,
+			Rng:          sim.NewRNG(sim.DeriveSeed(spec.Seed, openLoopStream+uint64(gi))),
+			Window:       spec.Window,
+			FlowDeadline: spec.FlowDeadline,
+			MaxInFlight:  spec.MaxInFlightPerHost,
+			ServerAddr:   iface.Path().Peer(iface).Addr(),
+			ServerPort:   80,
+			Conn:         *spec.Conn,
+			Iface:        iface,
+			OnDone:       func() { remaining-- },
+		})
+		if err != nil {
+			return openLoopShardOut{}, fmt.Errorf("fleet: shard %d host %d: %w", sh.Index, gi, err)
+		}
+		pools = append(pools, pool)
+		// All pools start at t=0: the arrival processes themselves spread the
+		// load (their first gaps differ per host stream).
+		sh.Sim.Schedule(0, pool.Start)
+	}
+
+	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
+
+	out := openLoopShardOut{hosts: sh.Members(), events: sh.Sim.Processed}
+	for _, p := range pools {
+		out.merge.add(p.Result(), p.LatencySamples())
+	}
+	if err := closeCapture(); err != nil {
+		return openLoopShardOut{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package httpsim
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/sim"
+	"mptcpgo/internal/workload"
+)
+
+// runOpenLoop builds a two-host topology with one bottleneck path and runs
+// an open-loop pool to settlement.
+func runOpenLoop(t *testing.T, cfg OpenLoopConfig, pathMbps float64) (OpenLoopResult, *OpenLoopPool) {
+	t.Helper()
+	s := sim.New(5)
+	n := netem.Build(s, netem.Symmetric("bn", netem.Mbps(pathMbps), 5*time.Millisecond,
+		int(netem.Mbps(pathMbps)/8/10), 0))
+	conn := core.TCPOnlyConfig()
+	if _, err := StartServer(core.NewManager(n.Server), ServerConfig{Port: 80, Conn: conn}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ServerAddr = n.ServerAddr(0)
+	cfg.ServerPort = 80
+	cfg.Conn = conn
+	cfg.Iface = n.Client.Interfaces()[0]
+	pool, err := NewOpenLoopPool(core.NewManager(n.Client), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Start()
+	deadline := cfg.Window + cfg.FlowDeadline + 10*time.Second
+	for !pool.Done() && s.Now() < deadline && s.Step() {
+	}
+	return pool.Result(), pool
+}
+
+// TestOpenLoopUnderload: with offered load well under capacity every flow
+// completes, nothing is dropped or shed, and the accounting adds up.
+func TestOpenLoopUnderload(t *testing.T) {
+	res, pool := runOpenLoop(t, OpenLoopConfig{
+		Arrival:      workload.Poisson(20),
+		Sizes:        workload.FixedSize(8 << 10),
+		Rng:          sim.NewRNG(sim.DeriveSeed(5, 1)),
+		Window:       3 * time.Second,
+		FlowDeadline: 5 * time.Second,
+	}, 10)
+	if !pool.Done() {
+		t.Fatal("pool never settled")
+	}
+	if res.Offered == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if res.Completed != res.Offered || res.Dropped != 0 || res.Shed != 0 || res.Failed != 0 || res.Unfinished != 0 {
+		t.Fatalf("underloaded pool lost flows: %+v", res)
+	}
+	if res.BytesReceived != uint64(res.Completed*8<<10) {
+		t.Fatalf("received %d bytes for %d flows of 8KB", res.BytesReceived, res.Completed)
+	}
+	if res.OfferedMbps <= 0 || res.GoodputMbps <= 0 || res.P99Latency <= 0 {
+		t.Fatalf("missing load/latency accounting: %+v", res)
+	}
+	if got := len(pool.LatencySamples()); got != res.Completed {
+		t.Fatalf("%d latency samples for %d completions", got, res.Completed)
+	}
+}
+
+// TestOpenLoopDeadlineDrops: a pool offered far more than the link carries
+// must shed the excess via the flow deadline and still settle (no flow left
+// in flight), with every arrival accounted exactly once.
+func TestOpenLoopDeadlineDrops(t *testing.T) {
+	res, pool := runOpenLoop(t, OpenLoopConfig{
+		Arrival:      workload.Poisson(200),
+		Sizes:        workload.FixedSize(64 << 10),
+		Rng:          sim.NewRNG(sim.DeriveSeed(5, 2)),
+		Window:       2 * time.Second,
+		FlowDeadline: time.Second,
+	}, 2) // 200/s × 64KB ≈ 100 Mbps offered on a 2 Mbps link
+	if !pool.Done() {
+		t.Fatal("overloaded pool never settled — drop-on-deadline is the anti-deadlock guarantee")
+	}
+	if res.Dropped == 0 {
+		t.Fatal("gross overload produced no deadline drops")
+	}
+	if got := res.Completed + res.Dropped + res.Shed + res.Failed; got != res.Offered {
+		t.Fatalf("accounting leak: completed+dropped+shed+failed = %d, offered = %d", got, res.Offered)
+	}
+	if res.PeakInFlight == 0 {
+		t.Fatal("peak in-flight never recorded")
+	}
+}
+
+// TestOpenLoopInFlightCap: with MaxInFlight=1 the pool sheds concurrent
+// arrivals instead of dialing them, and shed flows still count as offered.
+func TestOpenLoopInFlightCap(t *testing.T) {
+	res, _ := runOpenLoop(t, OpenLoopConfig{
+		Arrival:      workload.Poisson(100),
+		Sizes:        workload.FixedSize(32 << 10),
+		Rng:          sim.NewRNG(sim.DeriveSeed(5, 3)),
+		Window:       2 * time.Second,
+		FlowDeadline: 2 * time.Second,
+		MaxInFlight:  1,
+	}, 2)
+	if res.Shed == 0 {
+		t.Fatal("in-flight cap of 1 under 100 arrivals/s shed nothing")
+	}
+	if res.PeakInFlight > 1 {
+		t.Fatalf("peak in-flight %d exceeds the cap of 1", res.PeakInFlight)
+	}
+	if got := res.Completed + res.Dropped + res.Shed + res.Failed; got != res.Offered {
+		t.Fatalf("accounting leak: %d settled vs %d offered", got, res.Offered)
+	}
+}

@@ -1,0 +1,187 @@
+// Package workload is the deterministic traffic-generation layer: arrival
+// processes decide *when* flows start, size distributions decide *how much*
+// each flow transfers. Everything draws from an explicit sim.RNG handed in by
+// the caller, so a workload is a pure function of (process parameters, seed)
+// — the property the fleet engine's byte-identical merge relies on.
+//
+// Open-loop semantics: unlike the closed-loop pools (a fixed client
+// population where the next request waits for the previous one), an arrival
+// process keeps injecting flows at its configured rate no matter how far the
+// system has fallen behind. That is what makes overload observable: offered
+// load is set by the process, not by the system's completion rate.
+//
+// Determinism by thinning: a fleet-wide process is never sampled centrally.
+// Each arrival point (client host) owns an independent thinned copy —
+// Thin(1/N) — driven by an RNG derived from the root seed and the point's
+// global index via sim.DeriveSeed. The union of the thinned streams carries
+// the root rate, and no stream depends on how points are partitioned into
+// shards or scheduled across workers.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mptcpgo/internal/sim"
+)
+
+// ArrivalProcess generates successive inter-arrival gaps for one stream of
+// flows. Implementations may be stateful (on/off burst phases), so a process
+// value must not be shared between streams — Thin returns an independent
+// copy even at fraction 1.
+type ArrivalProcess interface {
+	// Name identifies the process family and its parameters for result
+	// metadata ("poisson(200.0/s)").
+	Name() string
+	// Next draws the gap until the next arrival using the stream's RNG.
+	Next(rng *sim.RNG) time.Duration
+	// Rate returns the long-run mean arrival rate in flows per second.
+	Rate() float64
+	// Thin returns an independent process carrying fraction f (0 < f <= 1]
+	// of this process's offered rate, with fresh phase state. Sharded
+	// drivers use it to split a fleet-wide process across arrival points.
+	Thin(f float64) ArrivalProcess
+}
+
+// FixedRate returns a deterministic constant-gap process: exactly rate
+// arrivals per second, evenly spaced. The RNG is not consumed.
+func FixedRate(rate float64) ArrivalProcess {
+	return &fixedRate{rate: positiveRate(rate)}
+}
+
+type fixedRate struct {
+	rate float64
+}
+
+func (p *fixedRate) Name() string  { return fmt.Sprintf("fixed(%.1f/s)", p.rate) }
+func (p *fixedRate) Rate() float64 { return p.rate }
+func (p *fixedRate) Next(*sim.RNG) time.Duration {
+	return time.Duration(float64(time.Second) / p.rate)
+}
+func (p *fixedRate) Thin(f float64) ArrivalProcess {
+	return &fixedRate{rate: p.rate * thinFraction(f)}
+}
+
+// Poisson returns a memoryless process with exponentially distributed gaps:
+// the open-loop arrival model of independent users (mean rate arrivals per
+// second).
+func Poisson(rate float64) ArrivalProcess {
+	return &poisson{rate: positiveRate(rate)}
+}
+
+type poisson struct {
+	rate float64
+}
+
+func (p *poisson) Name() string  { return fmt.Sprintf("poisson(%.1f/s)", p.rate) }
+func (p *poisson) Rate() float64 { return p.rate }
+func (p *poisson) Next(rng *sim.RNG) time.Duration {
+	return time.Duration(rng.Exp(float64(time.Second) / p.rate))
+}
+func (p *poisson) Thin(f float64) ArrivalProcess {
+	return &poisson{rate: p.rate * thinFraction(f)}
+}
+
+// OnOff returns a bursty two-phase process: during an on-phase (mean duration
+// on) arrivals are Poisson at peak flows per second; off-phases (mean
+// duration off) are silent. Phase durations are exponential, so the long-run
+// rate is peak * on/(on+off). It models flash crowds and periodic batch
+// traffic that a plain Poisson process smooths away.
+func OnOff(peak float64, on, off time.Duration) ArrivalProcess {
+	if on <= 0 {
+		on = 500 * time.Millisecond
+	}
+	if off <= 0 {
+		off = 500 * time.Millisecond
+	}
+	return &onOff{peak: positiveRate(peak), on: on, off: off}
+}
+
+type onOff struct {
+	peak     float64
+	on, off  time.Duration
+	burstRem time.Duration // remaining budget of the current on-phase
+}
+
+func (p *onOff) Name() string {
+	return fmt.Sprintf("onoff(%.1f/s peak, %v on, %v off)", p.peak, p.on, p.off)
+}
+
+func (p *onOff) Rate() float64 {
+	return p.peak * float64(p.on) / float64(p.on+p.off)
+}
+
+func (p *onOff) Next(rng *sim.RNG) time.Duration {
+	gap := time.Duration(rng.Exp(float64(time.Second) / p.peak))
+	var silent time.Duration
+	// Consume on-phase budget; whenever it runs out before the next arrival,
+	// insert a silent off-phase and start a fresh burst.
+	for gap > p.burstRem {
+		gap -= p.burstRem
+		silent += p.burstRem
+		silent += time.Duration(rng.Exp(float64(p.off)))
+		p.burstRem = time.Duration(rng.Exp(float64(p.on)))
+	}
+	p.burstRem -= gap
+	return silent + gap
+}
+
+func (p *onOff) Thin(f float64) ArrivalProcess {
+	// Thinning scales the burst intensity, not the phase cadence: every
+	// thinned stream still bursts on the same on/off time scales.
+	return &onOff{peak: p.peak * thinFraction(f), on: p.on, off: p.off}
+}
+
+// ParseArrival builds a process from its CLI spec:
+//
+//	poisson | fixed | onoff | onoff:<on_ms>,<off_ms>
+//
+// rate is the process's long-run mean in flows per second (for onoff the
+// peak is chosen so the duty cycle averages to rate).
+func ParseArrival(spec string, rate float64) (ArrivalProcess, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %g must be positive", rate)
+	}
+	kind, args, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "", "poisson":
+		return Poisson(rate), nil
+	case "fixed":
+		return FixedRate(rate), nil
+	case "onoff":
+		on, off := 500*time.Millisecond, 500*time.Millisecond
+		if args != "" {
+			parts := strings.Split(args, ",")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("workload: onoff wants on_ms,off_ms, got %q", args)
+			}
+			onMs, err1 := strconv.ParseFloat(parts[0], 64)
+			offMs, err2 := strconv.ParseFloat(parts[1], 64)
+			if err1 != nil || err2 != nil || onMs <= 0 || offMs <= 0 {
+				return nil, fmt.Errorf("workload: bad onoff phases %q", args)
+			}
+			on = time.Duration(onMs * float64(time.Millisecond))
+			off = time.Duration(offMs * float64(time.Millisecond))
+		}
+		// Scale the burst intensity so the duty-cycled mean equals rate.
+		peak := rate * float64(on+off) / float64(on)
+		return OnOff(peak, on, off), nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q (want poisson, fixed or onoff[:on_ms,off_ms])", kind)
+}
+
+func positiveRate(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: non-positive arrival rate %g", rate))
+	}
+	return rate
+}
+
+func thinFraction(f float64) float64 {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("workload: thinning fraction %g outside (0, 1]", f))
+	}
+	return f
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mptcpgo/internal/sim"
+)
+
+// SizeDist draws per-flow transfer sizes in bytes. Implementations are
+// stateless, so one value may serve any number of streams; every draw comes
+// from the caller's RNG.
+type SizeDist interface {
+	// Name identifies the distribution and its parameters for result
+	// metadata ("pareto(1.20, 4.0KB..1.0MB)").
+	Name() string
+	// Sample draws one flow size (always >= 1 byte).
+	Sample(rng *sim.RNG) int
+	// Mean returns the distribution's expected size in bytes, used for
+	// offered-load accounting (offered bits/s = rate * Mean * 8).
+	Mean() float64
+}
+
+// FixedSize returns a degenerate distribution: every flow transfers exactly
+// n bytes.
+func FixedSize(n int) SizeDist {
+	if n <= 0 {
+		n = 64 << 10
+	}
+	return fixedSize(n)
+}
+
+type fixedSize int
+
+func (d fixedSize) Name() string        { return fmt.Sprintf("fixed(%s)", fmtSize(float64(d))) }
+func (d fixedSize) Sample(*sim.RNG) int { return int(d) }
+func (d fixedSize) Mean() float64       { return float64(d) }
+
+// Lognormal returns a lognormal size distribution: ln(size) ~ N(mu, sigma²),
+// the classic fit for web-object bodies. Samples are clamped to [1, cap]
+// (cap <= 0 means 64 MB) so one extreme draw cannot dominate a run.
+func Lognormal(mu, sigma float64, capBytes int) SizeDist {
+	if capBytes <= 0 {
+		capBytes = 64 << 20
+	}
+	return &lognormal{mu: mu, sigma: sigma, cap: capBytes}
+}
+
+type lognormal struct {
+	mu, sigma float64
+	cap       int
+}
+
+func (d *lognormal) Name() string {
+	return fmt.Sprintf("lognormal(mu=%.2f, sigma=%.2f)", d.mu, d.sigma)
+}
+
+func (d *lognormal) Sample(rng *sim.RNG) int {
+	// Box-Muller with a fixed two draws per sample keeps the RNG consumption
+	// schedule independent of the values drawn.
+	u1, u2 := rng.Float64(), rng.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return clampSize(math.Exp(d.mu+d.sigma*z), d.cap)
+}
+
+func (d *lognormal) Mean() float64 {
+	m := math.Exp(d.mu + d.sigma*d.sigma/2)
+	if c := float64(d.cap); m > c {
+		return c
+	}
+	return m
+}
+
+// BoundedPareto returns a heavy-tailed bounded-Pareto distribution on
+// [lo, hi] with shape alpha — the canonical model for flow sizes where most
+// flows are mice and a few elephants carry most of the bytes (alpha in
+// (1, 2) gives finite mean, very high variance).
+func BoundedPareto(alpha float64, lo, hi int) SizeDist {
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	if lo <= 0 {
+		lo = 4 << 10
+	}
+	if hi <= lo {
+		hi = lo * 256
+	}
+	d := &boundedPareto{alpha: alpha, lo: float64(lo), hi: float64(hi)}
+	d.la = math.Pow(d.lo, alpha)
+	d.ha = math.Pow(d.hi, alpha)
+	d.invAlpha = 1 / alpha
+	return d
+}
+
+type boundedPareto struct {
+	alpha, lo, hi float64
+	// la, ha and invAlpha are lo^alpha, hi^alpha and 1/alpha, precomputed so
+	// Sample's inverse-CDF costs one Pow instead of three.
+	la, ha, invAlpha float64
+}
+
+func (d *boundedPareto) Name() string {
+	return fmt.Sprintf("pareto(%.2f, %s..%s)", d.alpha, fmtSize(d.lo), fmtSize(d.hi))
+}
+
+func (d *boundedPareto) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*d.ha-u*d.la-d.ha)/(d.ha*d.la), -d.invAlpha)
+	return clampSize(x, int(d.hi))
+}
+
+func (d *boundedPareto) Mean() float64 {
+	a, l, h := d.alpha, d.lo, d.hi
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * a / (a - 1) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// webMixEntry is one bucket of the empirical web-mix table.
+type webMixEntry struct {
+	weight float64
+	size   int
+}
+
+// webMixTable is an empirical web-page object mix: mostly small objects
+// (markup, icons, scripts), a band of images, and a thin tail of large
+// downloads. Weights sum to 1.
+var webMixTable = []webMixEntry{
+	{0.40, 2 << 10},
+	{0.24, 8 << 10},
+	{0.20, 32 << 10},
+	{0.10, 128 << 10},
+	{0.05, 512 << 10},
+	{0.01, 4 << 20},
+}
+
+// WebMix returns the empirical web-object mix: a discrete table whose mean
+// is ~64 KB but whose top bucket (1% at 4 MB) carries a third of the bytes.
+func WebMix() SizeDist { return webMix{} }
+
+type webMix struct{}
+
+func (webMix) Name() string { return "webmix" }
+
+func (webMix) Sample(rng *sim.RNG) int {
+	u := rng.Float64()
+	for _, e := range webMixTable {
+		if u < e.weight {
+			return e.size
+		}
+		u -= e.weight
+	}
+	return webMixTable[len(webMixTable)-1].size
+}
+
+func (webMix) Mean() float64 {
+	var m float64
+	for _, e := range webMixTable {
+		m += e.weight * float64(e.size)
+	}
+	return m
+}
+
+// ParseSizeDist builds a distribution from its CLI spec:
+//
+//	fixed:<bytes> | lognormal:<mu>,<sigma> | pareto:<alpha>,<lo>,<hi> | webmix
+func ParseSizeDist(spec string) (SizeDist, error) {
+	kind, args, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "webmix", "":
+		return WebMix(), nil
+	case "fixed":
+		n, err := strconv.Atoi(args)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("workload: fixed size dist wants a positive byte count, got %q", args)
+		}
+		return FixedSize(n), nil
+	case "lognormal":
+		parts := strings.Split(args, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: lognormal wants mu,sigma, got %q", args)
+		}
+		mu, err1 := strconv.ParseFloat(parts[0], 64)
+		sigma, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || sigma < 0 {
+			return nil, fmt.Errorf("workload: bad lognormal parameters %q", args)
+		}
+		return Lognormal(mu, sigma, 0), nil
+	case "pareto":
+		parts := strings.Split(args, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: pareto wants alpha,lo,hi, got %q", args)
+		}
+		alpha, err1 := strconv.ParseFloat(parts[0], 64)
+		lo, err2 := strconv.Atoi(parts[1])
+		hi, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || alpha <= 0 || lo <= 0 || hi <= lo {
+			return nil, fmt.Errorf("workload: bad pareto parameters %q", args)
+		}
+		return BoundedPareto(alpha, lo, hi), nil
+	}
+	return nil, fmt.Errorf("workload: unknown size distribution %q (want fixed:<bytes>, lognormal:<mu>,<sigma>, pareto:<alpha>,<lo>,<hi> or webmix)", kind)
+}
+
+// clampSize rounds a continuous sample to a whole byte count in [1, cap].
+func clampSize(x float64, cap int) int {
+	if !(x >= 1) { // NaN-safe
+		return 1
+	}
+	if cap > 0 && x > float64(cap) {
+		return cap
+	}
+	return int(x)
+}
+
+// fmtSize renders a byte count compactly for Name strings.
+func fmtSize(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", b/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", b)
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mptcpgo/internal/sim"
+)
+
+// meanGap draws n gaps from a fresh stream of p and returns their mean.
+func meanGap(p ArrivalProcess, seed uint64, n int) time.Duration {
+	rng := sim.NewRNG(seed)
+	stream := p.Thin(1) // independent copy with fresh phase state
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += stream.Next(rng)
+	}
+	return total / time.Duration(n)
+}
+
+// TestPoissonMeanRate pins the satellite requirement: under a fixed seed the
+// Poisson inter-arrival mean matches the configured rate within tolerance.
+func TestPoissonMeanRate(t *testing.T) {
+	for _, rate := range []float64{10, 200, 5000} {
+		got := meanGap(Poisson(rate), 42, 50000).Seconds()
+		want := 1 / rate
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("poisson(%g): mean gap %.6fs, want %.6fs ±2%%", rate, got, want)
+		}
+	}
+}
+
+// TestFixedRateIsExact checks the degenerate process needs no RNG and is
+// perfectly spaced.
+func TestFixedRateIsExact(t *testing.T) {
+	p := FixedRate(50)
+	if gap := p.Next(nil); gap != 20*time.Millisecond {
+		t.Fatalf("fixed(50/s) gap = %v, want 20ms", gap)
+	}
+}
+
+// TestOnOffMeanRate checks the duty-cycled long-run rate: peak scaled by
+// on/(on+off).
+func TestOnOffMeanRate(t *testing.T) {
+	p := OnOff(400, 250*time.Millisecond, 750*time.Millisecond)
+	if want := 100.0; math.Abs(p.Rate()-want) > 1e-9 {
+		t.Fatalf("onoff Rate() = %g, want %g", p.Rate(), want)
+	}
+	got := meanGap(p, 42, 200000).Seconds()
+	want := 1 / p.Rate()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("onoff mean gap %.6fs, want %.6fs ±5%%", got, want)
+	}
+}
+
+// TestThinScalesRate checks the determinism-by-thinning contract: a thinned
+// stream carries exactly the fraction of the rate, and two streams with the
+// same seed draw identical schedules regardless of when they were thinned.
+func TestThinScalesRate(t *testing.T) {
+	root := Poisson(1000)
+	th := root.Thin(0.25)
+	if got := th.Rate(); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("thinned rate %g, want 250", got)
+	}
+	a, b := root.Thin(0.1), root.Thin(0.1)
+	rngA, rngB := sim.NewRNG(99), sim.NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(rngA), b.Next(rngB); ga != gb {
+			t.Fatalf("draw %d: thinned streams diverge (%v vs %v)", i, ga, gb)
+		}
+	}
+}
+
+// TestSizeDistMeans checks every distribution's sample mean against its
+// declared Mean under a fixed seed.
+func TestSizeDistMeans(t *testing.T) {
+	dists := []struct {
+		d   SizeDist
+		tol float64
+	}{
+		{FixedSize(32 << 10), 0},
+		{Lognormal(10, 1, 0), 0.03},
+		{BoundedPareto(1.2, 4<<10, 1<<20), 0.05},
+		{WebMix(), 0.05},
+	}
+	for _, tc := range dists {
+		rng := sim.NewRNG(42)
+		const n = 200000
+		var total float64
+		for i := 0; i < n; i++ {
+			s := tc.d.Sample(rng)
+			if s < 1 {
+				t.Fatalf("%s: sample %d < 1 byte", tc.d.Name(), s)
+			}
+			total += float64(s)
+		}
+		got, want := total/n, tc.d.Mean()
+		if tc.tol == 0 {
+			if got != want {
+				t.Errorf("%s: mean %.1f, want exactly %.1f", tc.d.Name(), got, want)
+			}
+			continue
+		}
+		if math.Abs(got-want)/want > tc.tol {
+			t.Errorf("%s: sample mean %.1f vs declared %.1f (tol %.0f%%)", tc.d.Name(), got, want, tc.tol*100)
+		}
+	}
+}
+
+// TestBoundedParetoRange checks draws stay in [lo, hi] and actually use the
+// tail (heavy-tailed: some draws far above the mean).
+func TestBoundedParetoRange(t *testing.T) {
+	d := BoundedPareto(1.2, 4<<10, 1<<20)
+	rng := sim.NewRNG(3)
+	sawTail := false
+	for i := 0; i < 100000; i++ {
+		s := d.Sample(rng)
+		if s < 4<<10 || s > 1<<20 {
+			t.Fatalf("pareto draw %d outside [4KB, 1MB]", s)
+		}
+		if s > 512<<10 {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Error("pareto never drew from the tail above 512KB in 100k samples")
+	}
+}
+
+// TestParseRoundTrips covers the CLI parsers, including rejection of
+// malformed specs.
+func TestParseRoundTrips(t *testing.T) {
+	for _, spec := range []string{"webmix", "fixed:32768", "lognormal:10,1.5", "pareto:1.2,4096,1048576"} {
+		if _, err := ParseSizeDist(spec); err != nil {
+			t.Errorf("ParseSizeDist(%q): %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"fixed:-1", "fixed:x", "lognormal:1", "pareto:0,1,2", "pareto:1.2,10,5", "nope"} {
+		if _, err := ParseSizeDist(spec); err == nil {
+			t.Errorf("ParseSizeDist(%q) accepted a bad spec", spec)
+		}
+	}
+	for _, spec := range []string{"poisson", "fixed", "onoff", "onoff:100,900"} {
+		p, err := ParseArrival(spec, 50)
+		if err != nil {
+			t.Errorf("ParseArrival(%q): %v", spec, err)
+			continue
+		}
+		if math.Abs(p.Rate()-50) > 1e-9 {
+			t.Errorf("ParseArrival(%q) rate %g, want 50", spec, p.Rate())
+		}
+	}
+	if _, err := ParseArrival("warp", 50); err == nil {
+		t.Error("ParseArrival accepted an unknown process")
+	}
+	if _, err := ParseArrival("poisson", 0); err == nil {
+		t.Error("ParseArrival accepted rate 0")
+	}
+}

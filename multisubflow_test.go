@@ -1,0 +1,75 @@
+package mptcpgo
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFourSubflowTopology covers the ROADMAP ">3 subflow topologies" item: a
+// phone with four interfaces, each on its own link to a four-homed server,
+// must establish one subflow per reachable interface — the initial subflow
+// plus three MP_JOINs — and complete a transfer striped across all four.
+func TestFourSubflowTopology(t *testing.T) {
+	const links = 4
+	topo := NewTopology(11)
+	for i := 0; i < links; i++ {
+		topo.Connect("phone", "server",
+			SymmetricLink("", 20, 40*time.Millisecond, 64<<10))
+	}
+	net, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	received := 0
+	if _, err := net.Listen("server", 80, DefaultConfig(), func(c *Conn) {
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				received += len(data)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := net.DialStream("phone", "server:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2 << 20
+	if _, err := stream.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain whatever is still in flight after the blocking writes returned.
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := stream.Conn()
+	if !conn.MPTCPActive() {
+		t.Fatal("connection fell back to single-path TCP")
+	}
+	if got := len(conn.Subflows()); got != links {
+		t.Fatalf("connection opened %d subflows, want %d (one per interface)", got, links)
+	}
+	if received != total {
+		t.Fatalf("server received %d bytes, want %d", received, total)
+	}
+
+	// All four subflows must actually carry data: with equal links the
+	// scheduler stripes across every established subflow, so an idle one
+	// means openAdditionalSubflows left an interface behind.
+	for i, sf := range conn.Subflows() {
+		st := sf.Endpoint().Stats()
+		if st.BytesSent == 0 {
+			t.Errorf("subflow %d sent no data", i)
+		}
+	}
+}
