@@ -1,0 +1,39 @@
+package mptcpgo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosFacade runs a small chaos scenario through the public builder and
+// checks the error paths: bad fault specs and unknown adversary presets are
+// reported by Run, not swallowed.
+func TestChaosFacade(t *testing.T) {
+	res, err := NewChaos(3).
+		Members(2).
+		TransferBytes(64 << 10).
+		Faults("flap").
+		Adversary("rst").
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fleet-chaos" || len(res.Tables) == 0 {
+		t.Fatalf("unexpected result: id=%q tables=%d", res.ID, len(res.Tables))
+	}
+	row := res.Tables[0].Rows[len(res.Tables[0].Rows)-1]
+	if row[0] != "all" || row[4] != "0" || row[5] != "0" {
+		t.Fatalf("chaos invariant violated: %v", row)
+	}
+
+	if _, err := NewChaos(1).Faults("flap:bogus=1").Run(); err == nil {
+		t.Fatal("Run accepted a bad fault spec")
+	}
+	if _, err := NewChaos(1).Adversary("nope").Run(); err == nil ||
+		!strings.Contains(err.Error(), "unknown adversary") {
+		t.Fatalf("Run accepted an unknown adversary: %v", err)
+	}
+	if c := NewChaos(1).Members(0); c.err == nil {
+		t.Fatal("Members(0) accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	mptcpbench -scenario fleet-http -clients 1000 -workers 8
 //	mptcpbench -scenario fleet-openloop -rate 400 -duration 5s -sizedist webmix
 //	mptcpbench -scenario incast -quick -format json
+//	mptcpbench -scenario fleet-chaos -faults flap500 -adversary rst
 //
 // Each experiment produces the same rows/series the corresponding figure in
 // the paper reports, as aligned text (default), JSON or CSV; EXPERIMENTS.md
@@ -31,14 +32,16 @@ import (
 	"time"
 
 	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/faults"
 	"mptcpgo/internal/fleet"
+	"mptcpgo/internal/middlebox"
 	"mptcpgo/internal/workload"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
-	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | fleet-openloop | incast | mixed")
+	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | fleet-openloop | incast | mixed | fleet-chaos")
 	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
 	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed; 0 is a legal seed)")
 	format := flag.String("format", "text", "output format: text | json | csv")
@@ -52,6 +55,8 @@ func main() {
 	duration := flag.Duration("duration", 0, "fleet-openloop: arrival window of simulated time (0 = scenario default)")
 	sizeDist := flag.String("sizedist", "webmix", "fleet-openloop: flow-size distribution: fixed:<bytes> | lognormal:<mu>,<sigma> | pareto:<alpha>,<lo>,<hi> | webmix")
 	arrival := flag.String("arrival", "poisson", "fleet-openloop: arrival process: poisson | fixed | onoff[:on_ms,off_ms]")
+	faultSpec := flag.String("faults", "", "fleet-chaos: fault schedule — a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or grammar like 'flap:path=1,period=1s,down=250ms' (see internal/faults)")
+	adversary := flag.String("adversary", "", "fleet-chaos: adversarial middlebox preset: "+strings.Join(middlebox.AdversaryPresetNames(), " | "))
 	flag.Parse()
 
 	switch *format {
@@ -74,6 +79,7 @@ func main() {
 			seed: *seed, members: *clients, shards: *shards, workers: *workers,
 			quick: *quick, pcapDir: *pcapDir,
 			rate: *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
+			faults: *faultSpec, adversary: *adversary,
 		})
 		if err != nil {
 			fail(err)
@@ -96,6 +102,7 @@ func main() {
 		fmt.Println("  fleet-openloop open-loop arrivals (-rate/-arrival) with drawn flow sizes (-sizedist)")
 		fmt.Println("  incast         synchronized many-to-one fan-in over the N-host graph")
 		fmt.Println("  mixed          MPTCP foreground vs plain-TCP background traffic")
+		fmt.Println("  fleet-chaos    integrity-checked uploads under fault schedules (-faults) and adversarial middleboxes (-adversary)")
 		if *run == "" && !*list {
 			fmt.Println("\nuse -run <id> (or -run all) to execute one")
 		}
@@ -141,6 +148,10 @@ type scenarioOptions struct {
 	window   time.Duration
 	sizeDist string
 	arrival  string
+
+	// fleet-chaos only.
+	faults    string
+	adversary string
 }
 
 // runScenario dispatches one fleet scenario with CLI sizing applied.
@@ -186,8 +197,25 @@ func runScenario(name string, o scenarioOptions) (*experiments.Result, time.Dura
 			Seed: o.seed, Pairs: n, Duration: dur,
 			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
 		})
+	case "fleet-chaos":
+		n := 32
+		if o.quick {
+			n = 8
+		}
+		if o.members > 0 {
+			n = o.members
+		}
+		var spec faults.Spec
+		spec, err = faults.Parse(o.faults)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err = fleet.RunChaos(fleet.ChaosSpec{
+			Seed: o.seed, Members: n, Faults: spec, Adversary: o.adversary,
+			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+		})
 	default:
-		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, fleet-openloop, incast or mixed)", name)
+		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, fleet-openloop, incast, mixed or fleet-chaos)", name)
 	}
 	return res, time.Since(start), err
 }

@@ -720,6 +720,63 @@ func (c *Connection) onRemoteAddressRemoved(opt packet.RemoveAddrOption) {
 	c.pump()
 }
 
+// RemoveLocalInterface withdraws a local interface from the connection
+// (mid-session interface loss, §3.4): every subflow bound to it is failed and
+// its un-DATA-ACKed data reinjected onto surviving subflows, and a
+// REMOVE_ADDR withdrawing the dead subflows' address IDs is queued on the
+// survivors — the peer must learn of the loss through a working path because
+// the dead one may swallow our RSTs.
+func (c *Connection) RemoveLocalInterface(ifc *netem.Interface) {
+	if c.closed {
+		return
+	}
+	var victims []*Subflow
+	for _, s := range c.subflows {
+		if s.ep != nil && s.ep.Interface() == ifc && !s.failed {
+			victims = append(victims, s)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	removed := make([]uint8, 0, len(victims))
+	for _, s := range victims {
+		removed = append(removed, s.addrID)
+		s.failed = true
+		s.ep.SendReset()
+		c.reinjectSubflowData(s)
+	}
+	if c.MPTCPActive() {
+		for _, s := range c.usableSubflows() {
+			s.pendingRemoveAddr = append(s.pendingRemoveAddr[:0], removed...)
+			s.removeAddrRepeats = 3
+			s.ep.ForceWindowUpdate()
+		}
+	}
+	c.pump()
+}
+
+// RestoreLocalInterface reacts to an interface coming back (§3.4): the client
+// re-opens subflows over it; the server re-arms its ADD_ADDR advertisements so
+// the peer learns the address is usable again.
+func (c *Connection) RestoreLocalInterface(ifc *netem.Interface) {
+	if c.closed || !c.MPTCPActive() || !c.established {
+		return
+	}
+	if c.isClient {
+		c.sim.Schedule(time.Millisecond, c.openAdditionalSubflows)
+		return
+	}
+	if c.cfg.AdvertiseAddresses {
+		for _, s := range c.usableSubflows() {
+			if s.role == RoleInitial {
+				s.addAddrRepeats = 3
+				s.ep.ForceWindowUpdate()
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Fallback and termination
 // ---------------------------------------------------------------------------

@@ -32,6 +32,26 @@ func (m *Manager) Tokens() *TokenTable { return m.tokens }
 // Connections returns the currently tracked connections.
 func (m *Manager) Connections() []*Connection { return m.conns }
 
+// RemoveLocalInterface withdraws an interface from every tracked connection
+// (mid-session interface loss, §3.4): affected subflows are failed, their data
+// reinjected, and REMOVE_ADDR sent to peers over surviving subflows. The
+// fault-injection layer drives this to emulate mobility churn.
+func (m *Manager) RemoveLocalInterface(ifc *netem.Interface) {
+	conns := append([]*Connection(nil), m.conns...)
+	for _, c := range conns {
+		c.RemoveLocalInterface(ifc)
+	}
+}
+
+// RestoreLocalInterface reacts to an interface returning: clients re-open
+// subflows across it, servers re-advertise its address.
+func (m *Manager) RestoreLocalInterface(ifc *netem.Interface) {
+	conns := append([]*Connection(nil), m.conns...)
+	for _, c := range conns {
+		c.RestoreLocalInterface(ifc)
+	}
+}
+
 // Dial opens a new (MPTCP or plain TCP) connection from the given local
 // interface toward the remote endpoint.
 func (m *Manager) Dial(iface *netem.Interface, remote packet.Endpoint, cfg Config) (*Connection, error) {

@@ -66,6 +66,14 @@ type Subflow struct {
 	// ADD_ADDR advertisements (sent a few times for robustness).
 	addAddrRepeats int
 
+	// pendingRemoveAddr holds address IDs withdrawn by the local host
+	// (interface removal, §3.4 mobility); removeAddrRepeats counts how many
+	// more outgoing segments should carry the REMOVE_ADDR option — like
+	// ADD_ADDR it is repeated a few times because it rides on a best-effort
+	// segment.
+	pendingRemoveAddr []uint8
+	removeAddrRepeats int
+
 	// lastPenalized rate-limits Mechanism 2 to once per subflow RTT.
 	lastPenalized time.Duration
 
@@ -178,17 +186,14 @@ func (s *Subflow) OnSegmentSent(e *tcp.Endpoint, seg *packet.Segment, retransmis
 		if !handshakeRepeat {
 			dss.HasDataACK = true
 			dss.DataACK = c.wireDataAck()
+		} else {
+			// The 20-byte MP_CAPABLE repeat does not fit next to a mapping
+			// AND a DATA_ACK (48 > 40 option bytes). Shed the DATA_ACK — the
+			// mapping must survive — bringing the option set to exactly the
+			// 40-byte TCP option space; the first segment after the repeat
+			// stops re-carries the cumulative DATA_ACK.
+			dss.HasDataACK = false
 		}
-		// KNOWN WIRE DIVERGENCE: when handshakeRepeat is true and the chunk's
-		// DSS already carries a DATA_ACK (sendMapping always sets one), the
-		// 20-byte MP_CAPABLE repeat pushes the option set to 48 bytes — more
-		// than the 40-byte TCP option space, so this in-memory segment is not
-		// representable on a real wire. A real stack would shed the DATA_ACK
-		// here (dss.HasDataACK = false brings it to exactly 40); doing so
-		// changes link serialization timing and therefore simulation output,
-		// so the fix is deferred to a dedicated PR (see ROADMAP). The pcap
-		// export — which encodes every segment for real and caught this —
-		// skips and counts these segments (PcapWriter.EncodeErrors).
 		s.maybeAttachDataFIN(dss)
 	} else if !handshakeRepeat {
 		dss := seg.AppendDSS()
@@ -198,6 +203,17 @@ func (s *Subflow) OnSegmentSent(e *tcp.Endpoint, seg *packet.Segment, retransmis
 	}
 	if handshakeRepeat {
 		seg.RemoveOptions(func(o packet.Option) bool { return o.Kind() == packet.OptTimestamps })
+	}
+
+	// Withdraw removed local addresses for a few segments (§3.4).
+	if s.removeAddrRepeats > 0 && len(s.pendingRemoveAddr) > 0 {
+		ids := make([]uint8, len(s.pendingRemoveAddr))
+		copy(ids, s.pendingRemoveAddr)
+		seg.Options = append(seg.Options, &packet.RemoveAddrOption{AddrIDs: ids})
+		s.removeAddrRepeats--
+		if s.removeAddrRepeats == 0 {
+			s.pendingRemoveAddr = nil
+		}
 	}
 
 	// Advertise additional server addresses for a few segments (§3.2).

@@ -1,0 +1,420 @@
+// Package faults provides deterministic, simulation-clock-driven fault
+// injection for the emulated network: link flaps, one-shot outages, loss
+// bursts, rate squeezes and mid-session interface removal/addition (which
+// drives the MPTCP REMOVE_ADDR/re-establishment machinery in internal/core).
+//
+// Schedules are described by a compact text grammar (Parse) so experiments
+// and the mptcpbench CLI share one vocabulary, and are seeded through
+// sim.DeriveSeed: a schedule's event times depend only on (root seed, stream
+// index), never on shard partitioning or worker scheduling, so a sharded
+// scenario under faults produces byte-identical results at any worker count.
+//
+// The grammar is a semicolon-separated list of clauses, each a fault kind
+// with comma-separated key=value arguments:
+//
+//	flap:path=1,period=500ms,down=120ms,at=250ms[,until=10s][,jitter=50ms]
+//	down:path=0,at=1s[,dur=2s]
+//	loss:path=all,rate=0.3,at=500ms,dur=2s
+//	squeeze:path=0,factor=0.1,at=500ms,dur=3s
+//	ifdown:path=1,at=1s[,dur=3s]
+//	churn:path=1,period=2s,down=700ms,at=1s[,until=20s]
+//
+// `path` selects a path by index within the target's path list (taken modulo
+// the list length, so presets written for two-path hosts degrade sanely on
+// one-path topologies); `all` targets every path. `flap`/`down` silently
+// discard traffic (Path.SetDown); `loss`/`squeeze` reconfigure both
+// directional links (netem.Link.SetConfig) and restore the original
+// configuration when the burst ends; `ifdown`/`churn` additionally withdraw
+// the host-side interface from the MPTCP stack (REMOVE_ADDR to the peer,
+// reinjection of stranded data) and re-announce it on restoration.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/sim"
+)
+
+// SeedStream is the DeriveSeed stream-offset namespace for fault-schedule
+// jitter. It is disjoint from the open-loop workload namespace (0x0517_0000)
+// and from the raw shard indices used for shard seeds, so a fault schedule
+// never consumes the same derived stream as a traffic generator.
+const SeedStream = 0x0FA7_0000
+
+// Fault is one parsed clause of a fault schedule.
+type Fault struct {
+	Kind   string        // flap | down | loss | squeeze | ifdown | churn
+	Path   int           // target path index; -1 means every path
+	At     time.Duration // first action time
+	Period time.Duration // repeat interval (flap, churn)
+	Down   time.Duration // outage length per cycle (flap, churn)
+	Dur    time.Duration // burst/outage length (down, loss, squeeze, ifdown); 0 = permanent
+	Until  time.Duration // stop repeating after this time; 0 = forever
+	Rate   float64       // loss probability (loss)
+	Factor float64       // rate multiplier (squeeze)
+	Jitter time.Duration // uniform random addition to At, drawn per target
+}
+
+// Spec is a parsed fault schedule.
+type Spec struct {
+	Faults []Fault
+}
+
+// Empty reports whether the schedule contains no faults.
+func (sp Spec) Empty() bool { return len(sp.Faults) == 0 }
+
+// String reserializes the schedule in canonical clause order.
+func (sp Spec) String() string {
+	parts := make([]string, 0, len(sp.Faults))
+	for _, f := range sp.Faults {
+		var kv []string
+		add := func(k, v string) { kv = append(kv, k+"="+v) }
+		if f.Path == -1 {
+			add("path", "all")
+		} else {
+			add("path", strconv.Itoa(f.Path))
+		}
+		add("at", f.At.String())
+		if f.Period > 0 {
+			add("period", f.Period.String())
+		}
+		if f.Down > 0 {
+			add("down", f.Down.String())
+		}
+		if f.Dur > 0 {
+			add("dur", f.Dur.String())
+		}
+		if f.Until > 0 {
+			add("until", f.Until.String())
+		}
+		if f.Rate > 0 {
+			add("rate", strconv.FormatFloat(f.Rate, 'g', -1, 64))
+		}
+		if f.Factor > 0 {
+			add("factor", strconv.FormatFloat(f.Factor, 'g', -1, 64))
+		}
+		if f.Jitter > 0 {
+			add("jitter", f.Jitter.String())
+		}
+		parts = append(parts, f.Kind+":"+strings.Join(kv, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Presets maps short names (usable anywhere a spec string is accepted) to
+// canonical schedules; the adversarial experiment grid iterates over them.
+var Presets = map[string]string{
+	"none":    "",
+	"flap":    "flap:path=1,period=1s,down=250ms,at=500ms",
+	"flap500": "flap:path=1,period=500ms,down=120ms,at=250ms",
+	"loss":    "loss:path=all,rate=0.2,at=500ms,dur=2s",
+	"squeeze": "squeeze:path=0,factor=0.1,at=500ms,dur=3s",
+	"ifdown":  "ifdown:path=1,at=1s,dur=3s",
+	"ifchurn": "churn:path=1,period=2s,down=700ms,at=1s",
+}
+
+// PresetNames returns the preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse parses a fault schedule. The input may be a preset name or a grammar
+// string; an empty string yields an empty schedule.
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := Presets[s]; ok {
+		s = p
+	}
+	var sp Spec
+	if s == "" {
+		return sp, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		f, err := parseClause(clause)
+		if err != nil {
+			return Spec{}, err
+		}
+		sp.Faults = append(sp.Faults, f)
+	}
+	return sp, nil
+}
+
+// MustParse parses a schedule and panics on error; for tests and presets.
+func MustParse(s string) Spec {
+	sp, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+func parseClause(clause string) (Fault, error) {
+	kind, args, _ := strings.Cut(clause, ":")
+	kind = strings.TrimSpace(kind)
+	f := Fault{Kind: kind, Path: -2} // -2 = unset, defaulted per kind below
+	switch kind {
+	case "flap", "down", "loss", "squeeze", "ifdown", "churn":
+	default:
+		return Fault{}, fmt.Errorf("faults: unknown fault kind %q", kind)
+	}
+	if args != "" {
+		for _, kv := range strings.Split(args, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Fault{}, fmt.Errorf("faults: malformed argument %q in %q", kv, clause)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			var err error
+			switch key {
+			case "path":
+				if val == "all" {
+					f.Path = -1
+				} else {
+					f.Path, err = strconv.Atoi(val)
+				}
+			case "at":
+				f.At, err = time.ParseDuration(val)
+			case "period":
+				f.Period, err = time.ParseDuration(val)
+			case "down":
+				f.Down, err = time.ParseDuration(val)
+			case "dur":
+				f.Dur, err = time.ParseDuration(val)
+			case "until":
+				f.Until, err = time.ParseDuration(val)
+			case "jitter":
+				f.Jitter, err = time.ParseDuration(val)
+			case "rate":
+				f.Rate, err = strconv.ParseFloat(val, 64)
+			case "factor":
+				f.Factor, err = strconv.ParseFloat(val, 64)
+			default:
+				return Fault{}, fmt.Errorf("faults: unknown key %q in %q", key, clause)
+			}
+			if err != nil {
+				return Fault{}, fmt.Errorf("faults: bad value for %s in %q: %v", key, clause, err)
+			}
+		}
+	}
+	// Per-kind defaults.
+	if f.Path == -2 {
+		if kind == "loss" || kind == "squeeze" {
+			f.Path = -1
+		} else {
+			f.Path = 1
+		}
+	}
+	if f.At == 0 {
+		f.At = 500 * time.Millisecond
+	}
+	switch kind {
+	case "flap", "churn":
+		if f.Period <= 0 {
+			f.Period = time.Second
+		}
+		if f.Down <= 0 {
+			f.Down = 250 * time.Millisecond
+		}
+		if f.Down >= f.Period {
+			return Fault{}, fmt.Errorf("faults: %s down=%v must be shorter than period=%v", kind, f.Down, f.Period)
+		}
+	case "loss":
+		if f.Rate <= 0 {
+			f.Rate = 0.3
+		}
+		if f.Rate > 1 {
+			return Fault{}, fmt.Errorf("faults: loss rate %v out of range (0,1]", f.Rate)
+		}
+		if f.Dur <= 0 {
+			f.Dur = 2 * time.Second
+		}
+	case "squeeze":
+		if f.Factor <= 0 {
+			f.Factor = 0.1
+		}
+		if f.Factor >= 1 {
+			return Fault{}, fmt.Errorf("faults: squeeze factor %v must be below 1", f.Factor)
+		}
+		if f.Dur <= 0 {
+			f.Dur = 2 * time.Second
+		}
+	}
+	return f, nil
+}
+
+// Injector applies a schedule to one target (a set of paths plus, for
+// interface faults, the host's MPTCP stack) and counts what it did.
+type Injector struct {
+	sim   *sim.Simulator
+	rng   *sim.RNG
+	paths []*netem.Path
+	mgr   *core.Manager
+
+	// Counters, exported for scenario result tables.
+	Flaps      int // down/up cycles executed (flap)
+	Outages    int // one-shot outages started (down)
+	LossBursts int
+	Squeezes   int
+	Removals   int // interface withdrawals (ifdown, churn)
+	Restores   int // interface restorations
+}
+
+// Apply schedules the spec's faults against the given paths. mgr may be nil
+// when the spec contains no interface faults; it identifies the host whose
+// interfaces `ifdown`/`churn` withdraw (the path end owned by mgr's host).
+// seed/stream feed sim.DeriveSeed for jitter draws: pass the scenario root
+// seed and a per-target stream index (e.g. the global member index) so
+// schedules are independent per target yet identical across repartitions.
+func Apply(s *sim.Simulator, spec Spec, paths []*netem.Path, mgr *core.Manager, seed, stream uint64) *Injector {
+	in := &Injector{
+		sim:   s,
+		rng:   sim.NewRNG(sim.DeriveSeed(seed, SeedStream+stream)),
+		paths: paths,
+		mgr:   mgr,
+	}
+	for _, f := range spec.Faults {
+		for _, p := range in.targets(f) {
+			at := f.At
+			if f.Jitter > 0 {
+				at += time.Duration(in.rng.Float64() * float64(f.Jitter))
+			}
+			in.schedule(f, p, at)
+		}
+	}
+	return in
+}
+
+// targets resolves a fault's path selector against the injector's path list.
+func (in *Injector) targets(f Fault) []*netem.Path {
+	if len(in.paths) == 0 {
+		return nil
+	}
+	if f.Path == -1 {
+		return in.paths
+	}
+	return in.paths[f.Path%len(in.paths) : f.Path%len(in.paths)+1]
+}
+
+func (in *Injector) schedule(f Fault, p *netem.Path, at time.Duration) {
+	switch f.Kind {
+	case "flap":
+		in.scheduleCycle(f, p, at, func() { p.SetDown(true); in.Flaps++ }, func() { p.SetDown(false) })
+	case "churn":
+		in.scheduleCycle(f, p, at,
+			func() { in.removeIface(p) },
+			func() { in.restoreIface(p) })
+	case "down":
+		in.sim.ScheduleAt(at, func() {
+			p.SetDown(true)
+			in.Outages++
+			if f.Dur > 0 {
+				in.sim.Schedule(f.Dur, func() { p.SetDown(false) })
+			}
+		})
+	case "loss":
+		in.sim.ScheduleAt(at, func() {
+			in.LossBursts++
+			in.reconfigure(p, f.Dur, func(cfg netem.LinkConfig) netem.LinkConfig {
+				cfg.LossRate = f.Rate
+				return cfg
+			})
+		})
+	case "squeeze":
+		in.sim.ScheduleAt(at, func() {
+			in.Squeezes++
+			in.reconfigure(p, f.Dur, func(cfg netem.LinkConfig) netem.LinkConfig {
+				if cfg.RateBps > 0 {
+					cfg.RateBps = int64(float64(cfg.RateBps) * f.Factor)
+					if cfg.RateBps < 1 {
+						cfg.RateBps = 1
+					}
+				}
+				return cfg
+			})
+		})
+	case "ifdown":
+		in.sim.ScheduleAt(at, func() {
+			in.removeIface(p)
+			if f.Dur > 0 {
+				in.sim.Schedule(f.Dur, func() { in.restoreIface(p) })
+			}
+		})
+	}
+}
+
+// scheduleCycle runs down/up cycles starting at `at`, repeating every
+// f.Period until f.Until (0 = forever).
+func (in *Injector) scheduleCycle(f Fault, p *netem.Path, at time.Duration, down, up func()) {
+	var cycle func()
+	cycle = func() {
+		down()
+		in.sim.Schedule(f.Down, up)
+		if f.Until > 0 && in.sim.Now()+f.Period > f.Until {
+			return
+		}
+		in.sim.Schedule(f.Period, cycle)
+	}
+	in.sim.ScheduleAt(at, cycle)
+}
+
+// reconfigure applies a transform to both directional links of a path and
+// restores the pre-burst configuration after dur (0 = permanent).
+func (in *Injector) reconfigure(p *netem.Path, dur time.Duration, transform func(netem.LinkConfig) netem.LinkConfig) {
+	origAB, origBA := p.LinkAB().Config(), p.LinkBA().Config()
+	p.LinkAB().SetConfig(transform(origAB))
+	p.LinkBA().SetConfig(transform(origBA))
+	if dur > 0 {
+		in.sim.Schedule(dur, func() {
+			p.LinkAB().SetConfig(origAB)
+			p.LinkBA().SetConfig(origBA)
+		})
+	}
+}
+
+// hostIface returns the end of the path owned by the injector's manager.
+func (in *Injector) hostIface(p *netem.Path) *netem.Interface {
+	if in.mgr == nil {
+		return nil
+	}
+	if p.A().Host() == in.mgr.Host() {
+		return p.A()
+	}
+	if p.B().Host() == in.mgr.Host() {
+		return p.B()
+	}
+	return nil
+}
+
+// removeIface models the interface disappearing: the path goes dark AND the
+// MPTCP stack is told, so it fails subflows, reinjects their data and sends
+// REMOVE_ADDR over surviving paths.
+func (in *Injector) removeIface(p *netem.Path) {
+	p.SetDown(true)
+	in.Removals++
+	if ifc := in.hostIface(p); ifc != nil {
+		in.mgr.RemoveLocalInterface(ifc)
+	}
+}
+
+func (in *Injector) restoreIface(p *netem.Path) {
+	p.SetDown(false)
+	in.Restores++
+	if ifc := in.hostIface(p); ifc != nil {
+		in.mgr.RestoreLocalInterface(ifc)
+	}
+}

@@ -1,0 +1,241 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+func TestParsePresetsAndRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		sp, err := Parse(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if name == "none" {
+			if !sp.Empty() {
+				t.Fatalf("preset none parsed to %v", sp)
+			}
+			continue
+		}
+		// The canonical reserialization must parse back to the same spec.
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("preset %s: reparse %q: %v", name, sp.String(), err)
+		}
+		if again.String() != sp.String() {
+			t.Fatalf("preset %s: round trip %q != %q", name, again.String(), sp.String())
+		}
+	}
+}
+
+func TestParseDefaultsAndClauses(t *testing.T) {
+	sp := MustParse("flap;loss:rate=0.5")
+	if len(sp.Faults) != 2 {
+		t.Fatalf("got %d clauses", len(sp.Faults))
+	}
+	f := sp.Faults[0]
+	if f.Kind != "flap" || f.Path != 1 || f.Period != time.Second || f.Down != 250*time.Millisecond || f.At != 500*time.Millisecond {
+		t.Fatalf("flap defaults: %+v", f)
+	}
+	l := sp.Faults[1]
+	if l.Path != -1 || l.Rate != 0.5 || l.Dur != 2*time.Second {
+		t.Fatalf("loss defaults: %+v", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"explode",                // unknown kind
+		"flap:period=1s,down=2s", // down must be shorter than period
+		"loss:rate=1.5",          // rate out of range
+		"squeeze:factor=2",       // factor must shrink
+		"flap:bogus=1",           // unknown key
+		"flap:path",              // malformed kv
+		"down:at=notaduration",   // bad duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckerCatchesCorruptionAndShortDelivery(t *testing.T) {
+	k := NewChecker(7, 8)
+	buf := make([]byte, 8)
+	k.Fill(buf, 0)
+	k.Feed(buf[:4])
+	if !k.Intact() || k.Complete() {
+		t.Fatalf("half-fed checker: intact=%v complete=%v", k.Intact(), k.Complete())
+	}
+	if err := k.Err(); err == nil || !strings.Contains(err.Error(), "short delivery") {
+		t.Fatalf("short delivery not reported: %v", err)
+	}
+	buf[4] ^= 0xFF
+	k.Feed(buf[4:])
+	if k.Intact() || k.Complete() {
+		t.Fatal("corruption not detected")
+	}
+	if err := k.Err(); err == nil || !strings.Contains(err.Error(), "corruption at offset 4") {
+		t.Fatalf("wrong corruption report: %v", err)
+	}
+
+	ok := NewChecker(7, 8)
+	ok.Fill(buf, 0)
+	ok.Feed(buf)
+	if !ok.Complete() || ok.Hash() != ExpectedHash(7, 8) {
+		t.Fatalf("clean feed: complete=%v hash=%x want %x", ok.Complete(), ok.Hash(), ExpectedHash(7, 8))
+	}
+}
+
+func TestWatchdogReportsStallEpisodes(t *testing.T) {
+	s := sim.New(1)
+	progress := uint64(0)
+	episodes := 0
+	w := NewWatchdog(s, time.Second, func() uint64 { return progress }, func() bool { return false })
+	w.OnStall = func(time.Duration, uint64) { episodes++ }
+	w.Start()
+	// Advance progress for 3 ticks, stall for 3, recover, stall again.
+	s.ScheduleAt(500*time.Millisecond, func() { progress = 1 })
+	s.ScheduleAt(1500*time.Millisecond, func() { progress = 2 })
+	s.ScheduleAt(2500*time.Millisecond, func() { progress = 3 })
+	s.ScheduleAt(6500*time.Millisecond, func() { progress = 4 })
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+	if episodes != 2 {
+		t.Fatalf("stall episodes=%d, want 2 (one mid-run, one at the tail)", episodes)
+	}
+	if w.Stalls < 4 {
+		t.Fatalf("stalled intervals=%d, want at least 4", w.Stalls)
+	}
+}
+
+func TestClassifyFallback(t *testing.T) {
+	cases := map[string]string{
+		"no MP_CAPABLE in SYN/ACK":                  "handshake-strip",
+		"mptcp options stripped after handshake":    "midstream-strip",
+		"peer signalled MP_FAIL (checksum failure)": "mp-fail",
+		"data checksum mismatch":                    "checksum",
+		"data received without a mapping":           "unmapped-data",
+		"something else entirely":                   "other",
+	}
+	for reason, want := range cases {
+		if got := ClassifyFallback(reason); got != want {
+			t.Errorf("ClassifyFallback(%q)=%q, want %q", reason, got, want)
+		}
+	}
+}
+
+// chaosNet builds a two-path client/server network with MPTCP managers.
+func chaosNet(t *testing.T, seed uint64) (*netem.Network, *core.Manager, *core.Manager) {
+	t.Helper()
+	s := sim.New(seed)
+	n := netem.Build(s, netem.WiFi3GSpec()...)
+	return n, core.NewManager(n.Client), core.NewManager(n.Server)
+}
+
+// runCheckedTransfer uploads total patterned bytes client->server under the
+// given fault schedule and returns the server-side checker, the injector and
+// the client connection.
+func runCheckedTransfer(t *testing.T, spec Spec, total int, deadline time.Duration) (*Checker, *Injector, *core.Connection) {
+	t.Helper()
+	n, cliMgr, srvMgr := chaosNet(t, 11)
+	checker := NewChecker(99, total)
+
+	_, err := srvMgr.Listen(80, core.DefaultConfig(), func(c *core.Connection) {
+		c.OnReadable = func() {
+			for {
+				data := c.Read(64 << 10)
+				if len(data) == 0 {
+					break
+				}
+				checker.Feed(data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.SubflowTemplate.MaxRTORetries = 4
+	conn, err := cliMgr.Dial(n.Client.Interfaces()[0], packet.Endpoint{Addr: n.ServerAddr(0), Port: 80}, cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	buf := make([]byte, 32<<10)
+	sent := 0
+	pump := func() {
+		for sent < total {
+			chunk := len(buf)
+			if total-sent < chunk {
+				chunk = total - sent
+			}
+			checker.Fill(buf[:chunk], uint64(sent))
+			w := conn.Write(buf[:chunk])
+			if w == 0 {
+				return
+			}
+			sent += w
+		}
+		conn.Close()
+	}
+	conn.OnEstablished = pump
+	conn.OnWritable = pump
+
+	inj := Apply(n.Sim, spec, n.Paths, cliMgr, 42, 0)
+	if err := n.Sim.RunUntil(deadline); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return checker, inj, conn
+}
+
+// TestFlappingTransferCompletesIntact is the headline robustness check: a
+// two-path transfer whose secondary path flaps every 500 ms must still
+// deliver every byte exactly once, in order.
+func TestFlappingTransferCompletesIntact(t *testing.T) {
+	spec := MustParse("flap:path=1,period=500ms,down=150ms,at=250ms")
+	checker, inj, _ := runCheckedTransfer(t, spec, 1500<<10, 60*time.Second)
+	if inj.Flaps < 3 {
+		t.Fatalf("flaps=%d, want several", inj.Flaps)
+	}
+	if !checker.Complete() {
+		t.Fatalf("transfer not intact: %v", checker.Err())
+	}
+	if checker.Hash() != ExpectedHash(99, uint64(checker.Expected)) {
+		t.Fatal("rolling hash mismatch")
+	}
+}
+
+// TestInterfaceRemovalReinjectsOntoSurvivor removes the secondary interface
+// permanently mid-transfer: the dead subflow's un-DATA-ACKed bytes must be
+// reinjected onto the surviving path and the transfer must finish intact.
+func TestInterfaceRemovalReinjectsOntoSurvivor(t *testing.T) {
+	spec := MustParse("ifdown:path=1,at=400ms")
+	checker, inj, conn := runCheckedTransfer(t, spec, 1<<20, 60*time.Second)
+	if inj.Removals != 1 || inj.Restores != 0 {
+		t.Fatalf("removals=%d restores=%d, want 1/0", inj.Removals, inj.Restores)
+	}
+	if !checker.Complete() {
+		t.Fatalf("transfer not intact after interface loss: %v", checker.Err())
+	}
+	if conn.Stats().Reinjections == 0 {
+		t.Fatal("no reinjections recorded for the dead subflow's data")
+	}
+	usable := 0
+	for _, s := range conn.Subflows() {
+		if s.Usable() {
+			usable++
+		}
+	}
+	if usable != 1 {
+		t.Fatalf("usable subflows=%d after removal, want 1", usable)
+	}
+}

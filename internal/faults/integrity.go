@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/sim"
+)
+
+// End-to-end integrity invariants. Whatever the chaos layer does to the
+// network, an MPTCP connection must deliver the application byte stream
+// exactly once, in order — or die with an explicit error. The Checker
+// verifies this byte-for-byte against a deterministic pattern (so duplicated,
+// reordered or corrupted delivery is caught at the first bad byte, not just
+// in an end-of-run hash comparison), and maintains a rolling FNV-1a hash as
+// an independent cross-check. The Watchdog enforces the liveness half of the
+// invariant: a connection that silently stops making progress is a bug, and
+// it is reported with a diagnostic dump instead of idling until a scenario
+// deadline expires.
+
+// PatternByte returns the expected payload byte at stream offset off for a
+// given stream seed (a splitmix64-style mix, so every offset and seed yields
+// an effectively independent byte).
+func PatternByte(seed, off uint64) byte {
+	x := off + seed*0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xff51afd7ed558ccd
+	return byte(x ^ (x >> 32))
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ExpectedHash returns the FNV-1a hash of the first n pattern bytes; the
+// receiver's rolling hash must equal it after a complete transfer.
+func ExpectedHash(seed, n uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := uint64(0); i < n; i++ {
+		h = (h ^ uint64(PatternByte(seed, i))) * fnvPrime
+	}
+	return h
+}
+
+// Checker verifies exact-once in-order delivery of a patterned byte stream.
+type Checker struct {
+	Seed     uint64
+	Expected uint64 // total bytes the sender will transmit
+
+	received uint64
+	hash     uint64
+	mismatch int64 // stream offset of the first wrong byte; -1 = none
+}
+
+// NewChecker builds a checker for a transfer of `expected` bytes generated
+// from `seed`.
+func NewChecker(seed uint64, expected int) *Checker {
+	return &Checker{Seed: seed, Expected: uint64(expected), hash: fnvOffset, mismatch: -1}
+}
+
+// Fill writes the pattern for stream offsets [off, off+len(p)) into p; the
+// sender uses it to generate the transfer without materializing it.
+func (k *Checker) Fill(p []byte, off uint64) {
+	for i := range p {
+		p[i] = PatternByte(k.Seed, off+uint64(i))
+	}
+}
+
+// Feed consumes received bytes in application order, verifying each against
+// the pattern and folding it into the rolling hash.
+func (k *Checker) Feed(p []byte) {
+	for _, b := range p {
+		if k.mismatch < 0 && b != PatternByte(k.Seed, k.received) {
+			k.mismatch = int64(k.received)
+		}
+		k.hash = (k.hash ^ uint64(b)) * fnvPrime
+		k.received++
+	}
+}
+
+// Received returns the number of bytes consumed so far.
+func (k *Checker) Received() uint64 { return k.received }
+
+// Hash returns the rolling FNV-1a hash of the bytes consumed so far.
+func (k *Checker) Hash() uint64 { return k.hash }
+
+// Intact reports whether every byte so far matched the pattern.
+func (k *Checker) Intact() bool { return k.mismatch < 0 }
+
+// Complete reports whether the full transfer arrived intact.
+func (k *Checker) Complete() bool { return k.mismatch < 0 && k.received == k.Expected }
+
+// Err describes the first violated invariant, or nil.
+func (k *Checker) Err() error {
+	switch {
+	case k.mismatch >= 0:
+		return fmt.Errorf("faults: byte-stream corruption at offset %d (received %d/%d bytes)", k.mismatch, k.received, k.Expected)
+	case k.received > k.Expected:
+		return fmt.Errorf("faults: received %d bytes, expected only %d (duplicate delivery)", k.received, k.Expected)
+	case k.received < k.Expected:
+		return fmt.Errorf("faults: short delivery: %d/%d bytes", k.received, k.Expected)
+	}
+	return nil
+}
+
+// Watchdog turns silent stalls into explicit failures: every interval it
+// samples a progress counter, and if the counter has not advanced while the
+// transfer is unfinished it records a stall and (once per stall episode)
+// invokes OnStall with a diagnostic.
+type Watchdog struct {
+	// OnStall is invoked on the transition into a stall episode. Optional.
+	OnStall func(at time.Duration, progress uint64)
+	// Stalls counts stalled intervals (not episodes).
+	Stalls int
+
+	sim      *sim.Simulator
+	interval time.Duration
+	progress func() uint64
+	done     func() bool
+	timer    *sim.Timer
+	last     uint64
+	inStall  bool
+	started  bool
+}
+
+// NewWatchdog builds a watchdog sampling `progress` every `interval`; `done`
+// reporting true disarms it. Call Start to arm.
+func NewWatchdog(s *sim.Simulator, interval time.Duration, progress func() uint64, done func() bool) *Watchdog {
+	w := &Watchdog{sim: s, interval: interval, progress: progress, done: done}
+	w.timer = s.NewTimer(w.tick)
+	return w
+}
+
+// Start arms the watchdog.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.last = w.progress()
+	w.timer.Reset(w.interval)
+}
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() { w.timer.Stop() }
+
+func (w *Watchdog) tick() {
+	if w.done() {
+		return
+	}
+	cur := w.progress()
+	if cur == w.last {
+		w.Stalls++
+		if !w.inStall {
+			w.inStall = true
+			if w.OnStall != nil {
+				w.OnStall(w.sim.Now(), cur)
+			}
+		}
+	} else {
+		w.last = cur
+		w.inStall = false
+	}
+	w.timer.Reset(w.interval)
+}
+
+// ClassifyFallback maps a Connection.OnFallback reason string onto the small
+// taxonomy the chaos scenarios report on. The categories follow §3's failure
+// modes: options stripped at the handshake vs. mid-stream, checksum-detected
+// payload mangling, peer-signalled MP_FAIL, and mappings lost to coalescing.
+func ClassifyFallback(reason string) string {
+	switch {
+	case strings.Contains(reason, "MP_FAIL"):
+		return "mp-fail"
+	case strings.Contains(reason, "no MP_CAPABLE"):
+		return "handshake-strip"
+	case strings.Contains(reason, "stripped after handshake"):
+		return "midstream-strip"
+	case strings.Contains(reason, "checksum"):
+		return "checksum"
+	case strings.Contains(reason, "without a mapping"):
+		return "unmapped-data"
+	default:
+		return "other"
+	}
+}
+
+// DumpConnection renders a one-connection diagnostic: connection flags,
+// counters and per-subflow endpoint state. The watchdog attaches it to stall
+// reports so a hang is debuggable from the test log alone.
+func DumpConnection(c *core.Connection) string {
+	if c == nil {
+		return "<nil connection>"
+	}
+	var b strings.Builder
+	st := c.Stats()
+	fmt.Fprintf(&b, "conn established=%v mptcp=%v fallback=%v closed=%v err=%v\n",
+		c.Established(), c.MPTCPActive(), c.Fallback(), c.Closed(), c.Err())
+	fmt.Fprintf(&b, "  written=%d delivered=%d reinject=%d connRtx=%d unmapped=%d fallbacks=%d subflowsOpened=%d\n",
+		st.BytesWritten, st.BytesDelivered, st.Reinjections, st.ConnLevelRtx, st.UnmappedBytes, st.Fallbacks, st.SubflowsOpened)
+	for _, s := range c.Subflows() {
+		ep := s.Endpoint()
+		if ep == nil {
+			fmt.Fprintf(&b, "  subflow %d: no endpoint\n", s.ID())
+			continue
+		}
+		es := ep.Stats()
+		fmt.Fprintf(&b, "  subflow %d role=%d state=%v usable=%v srtt=%v sent=%d rcvd=%d rtx=%d timeouts=%d\n",
+			s.ID(), s.Role(), ep.State(), s.Usable(), ep.SRTT(), es.SegmentsSent, es.SegmentsReceived, es.Retransmissions, es.Timeouts)
+	}
+	return b.String()
+}

@@ -1,0 +1,542 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mptcpgo/internal/core"
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/faults"
+	"mptcpgo/internal/middlebox"
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+	"mptcpgo/internal/sim"
+)
+
+// chaosStream offsets the DeriveSeed stream indices used for per-member
+// payload patterns, disjoint from the shard-seed stream space (raw shard
+// indices), the open-loop workload space (0x0517_0000) and the fault-jitter
+// space (faults.SeedStream).
+const chaosStream = 0x0C4A_0000
+
+// ChaosSpec describes the fleet-chaos scenario: Members dual-homed client
+// hosts, each with two access paths to a sharded server replica, each
+// uploading a patterned byte stream that the server verifies byte-for-byte
+// (exact-once, in-order — see faults.Checker) while a deterministic fault
+// schedule batters the paths and an optional adversarial middlebox preset
+// sits on them. Every member runs under a progress watchdog: a silent stall
+// is recorded, dumped and aborted instead of idling to the deadline.
+//
+// The invariant the scenario checks is the paper's robustness claim: under
+// every fault×adversary combination each member must either complete with an
+// intact hash (surviving on the remaining subflows) or fall back to regular
+// TCP with a taxonomized reason — corruption, duplication and silent hangs
+// are failures.
+type ChaosSpec struct {
+	// Seed is the root RNG seed; shard seeds, fault jitter and payload
+	// patterns all derive from it.
+	Seed uint64
+	// Members is the number of dual-homed client hosts.
+	Members int
+	// Shards partitions the members (0 = default); Workers bounds parallel
+	// shard execution (0 = GOMAXPROCS; never changes the output).
+	Shards, Workers int
+	// TransferBytes is each member's upload size (default 384 KiB).
+	TransferBytes int
+	// Faults is the fault schedule applied independently to every member's
+	// two paths (jitter streams derived per member). See faults.Parse.
+	Faults faults.Spec
+	// Adversary names a middlebox.AdversaryPreset installed on every
+	// member's paths ("" = none).
+	Adversary string
+	// WatchdogInterval is the stall-detection sampling period (default 2s).
+	WatchdogInterval time.Duration
+	// Deadline caps each shard's simulated time (default 45s).
+	Deadline time.Duration
+	// Conn configures member connections (nil = MPTCP, no address
+	// advertisement, 4 RTO retries per subflow so dead paths fail fast).
+	Conn *core.Config
+	// Server configures the server replicas (nil = same hardening).
+	Server *core.Config
+	// Label overrides the result title; Quick is recorded in the metadata.
+	Label string
+	Quick bool
+	// PcapDir, when non-empty, captures every shard's wire traffic into
+	// <PcapDir>/<CaptureName>-shard<NNN>.pcap (fallback handshakes included).
+	PcapDir string
+	// CaptureName overrides the capture file prefix (default "fleet-chaos");
+	// the adversarial grid uses it for per-case file names.
+	CaptureName string
+}
+
+func (s ChaosSpec) withDefaults() ChaosSpec {
+	if s.TransferBytes <= 0 {
+		s.TransferBytes = 384 << 10
+	}
+	if s.WatchdogInterval <= 0 {
+		s.WatchdogInterval = 2 * time.Second
+	}
+	if s.Deadline <= 0 {
+		s.Deadline = 45 * time.Second
+	}
+	if s.Conn == nil {
+		conn := chaosConnConfig()
+		s.Conn = &conn
+	}
+	if s.Server == nil {
+		srv := chaosConnConfig()
+		s.Server = &srv
+	}
+	if s.CaptureName == "" {
+		s.CaptureName = "fleet-chaos"
+	}
+	return s
+}
+
+// chaosConnConfig is the hardened default: regular MPTCP with subflows that
+// declare a path dead after 4 consecutive RTOs (instead of TCP's patient 10)
+// so reinjection onto survivors happens within seconds of an outage.
+func chaosConnConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.AdvertiseAddresses = false
+	cfg.SendBufBytes = 128 << 10
+	cfg.RecvBufBytes = 128 << 10
+	cfg.SubflowTemplate.MaxRTORetries = 4
+	return cfg
+}
+
+// chaosOutcome taxonomizes one member's fate.
+const (
+	outcomeOK       = "ok"       // completed intact, multipath to the end
+	outcomeFallback = "fallback" // completed intact after TCP fallback
+	outcomeStalled  = "stalled"  // watchdog abort: silent loss of progress
+	outcomeFailed   = "failed"   // connection error or integrity violation
+)
+
+// chaosMember is the per-member harness state.
+type chaosMember struct {
+	spec    *ChaosSpec
+	gi      int
+	checker *faults.Checker
+	client  *core.Connection
+	server  *core.Connection
+	buf     []byte
+
+	sent           uint64
+	serverEOF      bool
+	clientClosed   bool
+	serverClosed   bool
+	clientErr      error
+	fallbackReason string
+	stalled        bool
+	stallDump      string
+	done           bool
+	outcome        string
+	watchdog       *faults.Watchdog
+	injector       *faults.Injector
+	onDone         func()
+}
+
+func (m *chaosMember) total() uint64 { return uint64(m.spec.TransferBytes) }
+
+// pump writes patterned payload until the transfer is fully queued, then
+// closes the sending direction (DATA_FIN).
+func (m *chaosMember) pump() {
+	if m.done || m.client == nil || m.client.Closed() {
+		return
+	}
+	for m.sent < m.total() {
+		n := len(m.buf)
+		if rem := m.total() - m.sent; rem < uint64(n) {
+			n = int(rem)
+		}
+		m.checker.Fill(m.buf[:n], m.sent)
+		w := m.client.Write(m.buf[:n])
+		if w == 0 {
+			return
+		}
+		m.sent += uint64(w)
+	}
+	m.client.Close()
+}
+
+// drain consumes server-side data into the integrity checker.
+func (m *chaosMember) drain() {
+	if m.server == nil {
+		return
+	}
+	for {
+		n := m.server.ReadInto(m.buf)
+		if n == 0 {
+			break
+		}
+		m.checker.Feed(m.buf[:n])
+	}
+	if m.server.EOF() {
+		m.serverEOF = true
+	}
+	m.maybeFinish()
+}
+
+// onStall is the watchdog callback: record a diagnostic dump and abort both
+// ends so the member fails fast instead of idling to the shard deadline.
+func (m *chaosMember) onStall(at time.Duration, progress uint64) {
+	if m.done || m.stalled {
+		return
+	}
+	m.stalled = true
+	m.stallDump = fmt.Sprintf("member %d stalled at t=%v after %d bytes\nclient: %sserver: %s",
+		m.gi, at, progress, faults.DumpConnection(m.client), faults.DumpConnection(m.server))
+	if m.client != nil && !m.client.Closed() {
+		m.client.Abort()
+	}
+	if m.server != nil && !m.server.Closed() {
+		m.server.Abort()
+	}
+	m.maybeFinish()
+}
+
+func (m *chaosMember) maybeFinish() {
+	if m.done {
+		return
+	}
+	success := m.serverEOF && m.checker.Complete()
+	dead := m.clientClosed && (m.server == nil || m.serverClosed || m.serverEOF)
+	if !success && !dead && !m.stalled {
+		return
+	}
+	if m.stalled && !(m.clientClosed || m.client == nil) {
+		// Wait for the aborts to propagate so counters settle.
+		return
+	}
+	m.done = true
+	m.watchdog.Stop()
+	switch {
+	case m.stalled:
+		m.outcome = outcomeStalled
+	case success && m.fallbackReason == "":
+		m.outcome = outcomeOK
+	case success:
+		m.outcome = outcomeFallback
+	default:
+		m.outcome = outcomeFailed
+	}
+	m.onDone()
+}
+
+// chaosMerge accumulates member outcomes deterministically (member order
+// within a shard, shard order across the fleet).
+type chaosMerge struct {
+	members      int
+	ok           int
+	fallback     int
+	stalled      int
+	failed       int
+	intact       int
+	bytes        uint64
+	reinjections uint64
+	connRtx      uint64
+	flaps        int
+	removals     int
+	restores     int
+	encodeErrors int
+	reasons      map[string]int
+	stallDumps   []string
+}
+
+func (m *chaosMerge) addReason(cat string) {
+	if m.reasons == nil {
+		m.reasons = make(map[string]int)
+	}
+	m.reasons[cat]++
+}
+
+func (m *chaosMerge) merge(o chaosMerge) {
+	m.members += o.members
+	m.ok += o.ok
+	m.fallback += o.fallback
+	m.stalled += o.stalled
+	m.failed += o.failed
+	m.intact += o.intact
+	m.bytes += o.bytes
+	m.reinjections += o.reinjections
+	m.connRtx += o.connRtx
+	m.flaps += o.flaps
+	m.removals += o.removals
+	m.restores += o.restores
+	m.encodeErrors += o.encodeErrors
+	for k, v := range o.reasons {
+		if m.reasons == nil {
+			m.reasons = make(map[string]int)
+		}
+		m.reasons[k] += v
+	}
+	m.stallDumps = append(m.stallDumps, o.stallDumps...)
+}
+
+func (m *chaosMerge) reasonSummary() string {
+	if len(m.reasons) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m.reasons))
+	for k := range m.reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m.reasons[k]))
+	}
+	return joinComma(parts)
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// chaosShardOut is one shard's contribution to the merged result.
+type chaosShardOut struct {
+	merge  chaosMerge
+	events uint64
+}
+
+// RunChaos executes the fleet-chaos scenario and returns the merged result,
+// byte-identical at any worker count for a fixed spec.
+func RunChaos(spec ChaosSpec) (*experiments.Result, error) {
+	res, _, err := runChaos(spec)
+	return res, err
+}
+
+// runChaos is RunChaos plus the merged outcome tally, which the adversarial
+// experiment grid consumes directly instead of re-parsing the table.
+func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
+	spec = spec.withDefaults()
+	if spec.Members <= 0 {
+		return nil, chaosMerge{}, fmt.Errorf("fleet: chaos workload has no members")
+	}
+	if _, _, ok := middlebox.AdversaryPreset(spec.Adversary); !ok {
+		return nil, chaosMerge{}, fmt.Errorf("fleet: unknown adversary preset %q (have %v)",
+			spec.Adversary, middlebox.AdversaryPresetNames())
+	}
+	outs, err := Run(spec.Seed, spec.Members, spec.Shards, spec.Workers, func(sh *Shard) (chaosShardOut, error) {
+		return runChaosShard(&spec, sh)
+	})
+	if err != nil {
+		return nil, chaosMerge{}, err
+	}
+
+	title := spec.Label
+	if title == "" {
+		adv := spec.Adversary
+		if adv == "" {
+			adv = "none"
+		}
+		fault := spec.Faults.String()
+		if fault == "" {
+			fault = "none"
+		}
+		title = fmt.Sprintf("chaos: %d members, faults=%s, adversary=%s", spec.Members, fault, adv)
+	}
+	res := &experiments.Result{ID: "fleet-chaos", Title: title, Seed: spec.Seed, Quick: spec.Quick}
+
+	table := experiments.NewTable(
+		fmt.Sprintf("%d members across %d shards, %d KiB each, watchdog %v",
+			spec.Members, len(outs), spec.TransferBytes>>10, spec.WatchdogInterval),
+		"shard", "members", "ok", "fallback", "stalled", "failed", "intact",
+		"reinject", "connRtx", "flaps", "ifdown", "ifup", "reasons", "events")
+	var total chaosMerge
+	var totalEvents uint64
+	okSeries := make([]float64, len(outs))
+	for i, out := range outs {
+		okSeries[i] = float64(out.merge.ok + out.merge.fallback)
+		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.merge.members),
+			fmt.Sprintf("%d", out.merge.ok), fmt.Sprintf("%d", out.merge.fallback),
+			fmt.Sprintf("%d", out.merge.stalled), fmt.Sprintf("%d", out.merge.failed),
+			fmt.Sprintf("%d", out.merge.intact),
+			fmt.Sprintf("%d", out.merge.reinjections), fmt.Sprintf("%d", out.merge.connRtx),
+			fmt.Sprintf("%d", out.merge.flaps), fmt.Sprintf("%d", out.merge.removals),
+			fmt.Sprintf("%d", out.merge.restores),
+			out.merge.reasonSummary(), fmt.Sprintf("%d", out.events))
+		total.merge(out.merge)
+		totalEvents += out.events
+	}
+	table.AddRow("all", fmt.Sprintf("%d", total.members),
+		fmt.Sprintf("%d", total.ok), fmt.Sprintf("%d", total.fallback),
+		fmt.Sprintf("%d", total.stalled), fmt.Sprintf("%d", total.failed),
+		fmt.Sprintf("%d", total.intact),
+		fmt.Sprintf("%d", total.reinjections), fmt.Sprintf("%d", total.connRtx),
+		fmt.Sprintf("%d", total.flaps), fmt.Sprintf("%d", total.removals),
+		fmt.Sprintf("%d", total.restores),
+		total.reasonSummary(), fmt.Sprintf("%d", totalEvents))
+	table.AddNote("invariant: every member must finish ok (intact hash, multipath), or fallback (intact hash, taxonomized reason); stalled = watchdog abort, failed = connection error or integrity violation")
+	if !spec.Faults.Empty() {
+		table.AddNote("fault schedule: %s (per-member jitter streams via DeriveSeed)", spec.Faults.String())
+	}
+	if total.encodeErrors > 0 {
+		table.AddNote("WIRE VIOLATION: %d captured segments rejected by the codec (option set exceeds the 40-byte TCP option space)", total.encodeErrors)
+	}
+	res.AddTable(table)
+	res.AddSeries(ShardSeries("completed members", "count", okSeries))
+	for _, dump := range total.stallDumps {
+		table.AddNote("%s", dump)
+	}
+	return res, total, nil
+}
+
+// runChaosShard builds one shard: a server replica plus the shard's members,
+// each a dual-homed client with per-member fault injection and an integrity-
+// checked upload.
+func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
+	g := netem.GraphSpec{}
+	g.AddHost("server")
+	pathIdx := make(map[int][2]int, sh.Members())
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		primary, secondary, _ := middlebox.AdversaryPreset(spec.Adversary)
+		ia := g.AddLink(netem.LinkSpec{
+			Name: fmt.Sprintf("chaos%da", gi),
+			A:    clientHostName(gi), B: "server",
+			Config: DefaultAccessLink(2 * gi),
+			Boxes:  primary,
+		})
+		ib := g.AddLink(netem.LinkSpec{
+			Name: fmt.Sprintf("chaos%db", gi),
+			A:    clientHostName(gi), B: "server",
+			Config: DefaultAccessLink(2*gi + 1),
+			Boxes:  secondary,
+		})
+		pathIdx[gi] = [2]int{ia, ib}
+	}
+	if err := sh.Materialize(g); err != nil {
+		return chaosShardOut{}, err
+	}
+	closeCapture, err := sh.StartCapture(spec.PcapDir, spec.CaptureName)
+	if err != nil {
+		return chaosShardOut{}, err
+	}
+	defer closeCapture()
+
+	srvMgr := sh.Manager("server")
+	remaining := sh.Members()
+	members := make([]*chaosMember, 0, sh.Members())
+	for gi := sh.Lo; gi < sh.Hi; gi++ {
+		gi := gi
+		mgr := sh.Manager(clientHostName(gi))
+		m := &chaosMember{
+			spec:    spec,
+			gi:      gi,
+			checker: faults.NewChecker(sim.DeriveSeed(spec.Seed, chaosStream+uint64(gi)), spec.TransferBytes),
+			buf:     make([]byte, 32<<10),
+			onDone:  func() { remaining-- },
+		}
+		members = append(members, m)
+
+		port := uint16(8000 + gi - sh.Lo)
+		if _, err := srvMgr.Listen(port, *spec.Server, func(conn *core.Connection) {
+			m.server = conn
+			conn.OnReadable = m.drain
+			conn.OnFallback = func(reason string) {
+				if m.fallbackReason == "" {
+					m.fallbackReason = reason
+				}
+			}
+			conn.OnClosed = func(error) {
+				m.serverClosed = true
+				m.drain()
+				m.maybeFinish()
+			}
+		}); err != nil {
+			return chaosShardOut{}, fmt.Errorf("fleet: shard %d member %d: %w", sh.Index, gi, err)
+		}
+
+		iface := mgr.Host().Interfaces()[0]
+		serverAddr := iface.Path().Peer(iface).Addr()
+		conn, err := mgr.Dial(iface, packet.Endpoint{Addr: serverAddr, Port: port}, *spec.Conn)
+		if err != nil {
+			return chaosShardOut{}, fmt.Errorf("fleet: shard %d member %d dial: %w", sh.Index, gi, err)
+		}
+		m.client = conn
+		conn.OnEstablished = m.pump
+		conn.OnWritable = m.pump
+		conn.OnFallback = func(reason string) {
+			if m.fallbackReason == "" {
+				m.fallbackReason = reason
+			}
+		}
+		conn.OnClosed = func(err error) {
+			m.clientClosed = true
+			m.clientErr = err
+			m.maybeFinish()
+		}
+
+		// Per-member fault injection: the member's two paths, jitter stream
+		// = global member index (identical across any shard partition).
+		idx := pathIdx[gi]
+		paths := []*netem.Path{sh.Net.Paths[idx[0]], sh.Net.Paths[idx[1]]}
+		m.injector = faults.Apply(sh.Sim, spec.Faults, paths, mgr, spec.Seed, uint64(gi))
+
+		m.watchdog = faults.NewWatchdog(sh.Sim, spec.WatchdogInterval,
+			func() uint64 { return m.checker.Received() + m.sent },
+			func() bool { return m.done })
+		m.watchdog.OnStall = m.onStall
+		m.watchdog.Start()
+	}
+
+	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
+
+	out := chaosShardOut{events: sh.Sim.Processed}
+	out.merge.members = sh.Members()
+	for _, m := range members {
+		if !m.done {
+			// Deadline expiry without watchdog abort (possible only when the
+			// deadline undercuts the watchdog interval): count as stalled.
+			m.stalled = true
+			m.outcome = outcomeStalled
+			if m.stallDump == "" {
+				m.stallDump = fmt.Sprintf("member %d unfinished at shard deadline\nclient: %sserver: %s",
+					m.gi, faults.DumpConnection(m.client), faults.DumpConnection(m.server))
+			}
+		}
+		switch m.outcome {
+		case outcomeOK:
+			out.merge.ok++
+		case outcomeFallback:
+			out.merge.fallback++
+			out.merge.addReason(faults.ClassifyFallback(m.fallbackReason))
+		case outcomeStalled:
+			out.merge.stalled++
+			out.merge.stallDumps = append(out.merge.stallDumps, m.stallDump)
+		default:
+			out.merge.failed++
+			if m.fallbackReason != "" {
+				out.merge.addReason(faults.ClassifyFallback(m.fallbackReason))
+			}
+		}
+		if m.checker.Intact() {
+			out.merge.intact++
+		}
+		out.merge.bytes += m.checker.Received()
+		if m.client != nil {
+			st := m.client.Stats()
+			out.merge.reinjections += st.Reinjections
+			out.merge.connRtx += st.ConnLevelRtx
+		}
+		out.merge.flaps += m.injector.Flaps
+		out.merge.removals += m.injector.Removals
+		out.merge.restores += m.injector.Restores
+	}
+	if err := closeCapture(); err != nil {
+		return chaosShardOut{}, err
+	}
+	if sh.Capture != nil {
+		out.merge.encodeErrors = sh.Capture.EncodeErrors
+	}
+	return out, nil
+}

@@ -23,6 +23,7 @@ import (
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/trace"
 )
 
 // DefaultMembersPerShard sizes the default partition: one shard per 64
@@ -51,6 +52,11 @@ type Shard struct {
 	Sim      *sim.Simulator
 	Net      *netem.Network
 	Managers map[string]*core.Manager
+
+	// Capture is the shard's pcap writer when StartCapture opened one;
+	// scenarios check its EncodeErrors after the run — the stacks emit only
+	// wire-expressible segments, so any skipped record is an emulator bug.
+	Capture *trace.PcapWriter
 }
 
 // Members returns the number of workload members the shard owns.

@@ -38,6 +38,7 @@ func (sh *Shard) StartCapture(dir, scenario string) (func() error, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: shard %d capture: %w", sh.Index, err)
 	}
+	sh.Capture = w
 	sh.CaptureTo(w)
 	return w.Close, nil // idempotent: safe to defer and error-check explicitly
 }

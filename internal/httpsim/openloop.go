@@ -213,7 +213,12 @@ func (p *OpenLoopPool) startFlow(size int) {
 			settled = true
 			p.inFlight--
 			p.dropped++
-			conn.Close()
+			// Abort, not Close: a flow only reaches its deadline because it
+			// has stalled (e.g. a subflow died mid-fetch), and a graceful
+			// DATA_FIN would strand the wedged connection retransmitting long
+			// after the pool wrote the flow off. Resetting every subflow
+			// reclaims both endpoints immediately.
+			conn.Abort()
 			p.settle()
 		})
 	}

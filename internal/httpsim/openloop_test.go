@@ -91,6 +91,63 @@ func TestOpenLoopDeadlineDrops(t *testing.T) {
 	}
 }
 
+// TestOpenLoopDeadlineAbortsWedgedFlows: when the path goes permanently dark
+// mid-fetch, deadline-expired flows must be aborted (subflows reset), not
+// gracefully closed — a DATA_FIN on a black-holed connection would strand the
+// client retransmitting with backoff for minutes of simulated time after the
+// pool has written the flow off. The regression check is that the client
+// manager holds no connections once the pool settles. (The server side cannot
+// be reclaimed the same way: the abort RSTs die on the dead path, so its
+// connections legitimately retransmit into the black hole until their own
+// MaxRTORetries teardown — the drain below checks that tail is bounded.)
+func TestOpenLoopDeadlineAbortsWedgedFlows(t *testing.T) {
+	s := sim.New(5)
+	n := netem.Build(s, netem.Symmetric("bn", netem.Mbps(4), 5*time.Millisecond, 64<<10, 0))
+	srvConn := core.TCPOnlyConfig()
+	srvConn.SubflowTemplate.MaxRTORetries = 3
+	srvConn.SubflowTemplate.MaxRTO = 2 * time.Second
+	if _, err := StartServer(core.NewManager(n.Server), ServerConfig{Port: 80, Conn: srvConn}); err != nil {
+		t.Fatal(err)
+	}
+	cliMgr := core.NewManager(n.Client)
+	pool, err := NewOpenLoopPool(cliMgr, OpenLoopConfig{
+		Arrival:      workload.Poisson(40),
+		Sizes:        workload.FixedSize(256 << 10),
+		Rng:          sim.NewRNG(sim.DeriveSeed(5, 4)),
+		Window:       time.Second,
+		FlowDeadline: 2 * time.Second,
+		ServerAddr:   n.ServerAddr(0),
+		ServerPort:   80,
+		Conn:         core.TCPOnlyConfig(),
+		Iface:        n.Client.Interfaces()[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Start()
+	s.ScheduleAt(300*time.Millisecond, func() { n.Path(0).SetDown(true) })
+	for !pool.Done() && s.Now() < 60*time.Second && s.Step() {
+	}
+	res := pool.Result()
+	if !pool.Done() {
+		t.Fatalf("pool never settled after the path died: %+v", res)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("dead path produced no deadline drops: %+v", res)
+	}
+	if live := len(cliMgr.Connections()); live != 0 {
+		t.Fatalf("%d client connections still open at settlement — dropped flows were not aborted", live)
+	}
+	settled := s.Now()
+	// Server-side teardown: 3 retries at RTOs capped to 2s give up within a
+	// few seconds; a lingering drain here means teardown timers leaked.
+	for s.Step() {
+	}
+	if s.Now() > settled+30*time.Second {
+		t.Fatalf("events lingered %v past settlement — black-holed server connections never tore down", s.Now()-settled)
+	}
+}
+
 // TestOpenLoopInFlightCap: with MaxInFlight=1 the pool sheds concurrent
 // arrivals instead of dialing them, and shed flows still count as offered.
 func TestOpenLoopInFlightCap(t *testing.T) {

@@ -1,0 +1,250 @@
+package middlebox
+
+import (
+	"time"
+
+	"mptcpgo/internal/netem"
+	"mptcpgo/internal/packet"
+)
+
+// This file models actively hostile middleboxes — the far end of the §3
+// spectrum. The boxes in rewrite.go and nat.go misunderstand MPTCP; the ones
+// here are out to get it: DPI engines that strip its options wholesale,
+// censorship-style RST injectors that terminate classified flows, and traffic
+// policers that silently discard everything above a contracted rate. The
+// protocol requirement they exercise is the paper's central robustness claim:
+// under every one of them an MPTCP connection must either keep running
+// (possibly on a subset of its paths) or degrade to a working regular TCP
+// connection — never hang, never corrupt the byte stream.
+
+// AdversaryPreset builds fresh adversarial middlebox chains for a two-path
+// host, keyed by a short name usable from the CLI and experiment grids. It
+// returns the chains for the primary and secondary path (fresh instances —
+// the boxes are stateful, so presets must never be shared between members).
+//
+//	none      — clean paths
+//	strip-syn — MPTCP options stripped from SYNs on both paths: the
+//	            connection must fall back cleanly at the handshake
+//	dpi       — DPI strips every MPTCP option on both paths from t=0
+//	            (handshake fallback with continued censorship)
+//	dpi-mid   — DPI activates mid-stream on the secondary path only: the
+//	            connection must survive on the primary
+//	rst       — RST injector kills MP_JOIN subflows on the secondary path
+//	police    — token-bucket policer throttles the secondary path
+func AdversaryPreset(name string) (primary, secondary []netem.Box, ok bool) {
+	switch name {
+	case "", "none":
+		return nil, nil, true
+	case "strip-syn":
+		return []netem.Box{NewOptionStripper(true)}, []netem.Box{NewOptionStripper(true)}, true
+	case "dpi":
+		return []netem.Box{NewDPI(0)}, []netem.Box{NewDPI(0)}, true
+	case "dpi-mid":
+		return nil, []netem.Box{NewDPI(1500 * time.Millisecond)}, true
+	case "rst":
+		return nil, []netem.Box{NewRSTInjector(2)}, true
+	case "police":
+		return nil, []netem.Box{NewPolicer(1_500_000, 32<<10)}, true
+	}
+	return nil, nil, false
+}
+
+// AdversaryPresetNames lists the preset names in grid order.
+func AdversaryPresetNames() []string {
+	return []string{"none", "strip-syn", "dpi", "dpi-mid", "rst", "police"}
+}
+
+// DPI is a stateful deep-packet-inspection box that classifies flows carrying
+// MPTCP options and strips those options from every segment, in both
+// directions. With ActivateAt zero it censors from the first SYN, so the
+// connection never negotiates MPTCP and falls back cleanly at the handshake
+// ("no MP_CAPABLE in SYN/ACK"). A later ActivateAt lets the handshake
+// succeed and then starts stripping mid-stream — the harder case, which the
+// passive opener detects via the first-option-less-segment rule and which
+// otherwise degenerates into unmapped data handled by connection-level
+// retransmission.
+type DPI struct {
+	// ActivateAt is the simulation time at which stripping begins; before it
+	// the box only observes (classification continues throughout).
+	ActivateAt time.Duration
+	// Stripped counts removed options; Flows counts classified flows.
+	Stripped int
+	Flows    int
+
+	seen map[packet.FourTuple]bool
+}
+
+// NewDPI builds a DPI stripper that starts censoring at activateAt.
+func NewDPI(activateAt time.Duration) *DPI {
+	return &DPI{ActivateAt: activateAt, seen: make(map[packet.FourTuple]bool)}
+}
+
+// Name implements netem.Box.
+func (d *DPI) Name() string { return "dpi-strip" }
+
+// canonicalTuple normalizes a segment's four-tuple so both directions of a
+// flow share one classification entry.
+func canonicalTuple(dir netem.Direction, seg *packet.Segment) packet.FourTuple {
+	t := seg.Tuple()
+	if dir == netem.BtoA {
+		t = t.Reverse()
+	}
+	return t
+}
+
+// Process implements netem.Box.
+func (d *DPI) Process(ctx netem.BoxContext, dir netem.Direction, seg *packet.Segment) []*packet.Segment {
+	if seg.HasMPTCP() {
+		t := canonicalTuple(dir, seg)
+		if !d.seen[t] {
+			d.seen[t] = true
+			d.Flows++
+		}
+	}
+	if ctx.Now() < d.ActivateAt {
+		return forward(seg)
+	}
+	d.Stripped += seg.RemoveOptions(func(o packet.Option) bool { return o.Kind() == packet.OptMPTCP })
+	return forward(seg)
+}
+
+// RSTInjector terminates flows matching a classifier by forging RST segments
+// toward both endpoints, then blackholes the flow — the observed behaviour of
+// censorship middleware and of some "flow-aware" security appliances. The
+// default classifier matches MP_JOIN handshakes, so joined subflows are
+// killed while the initial subflow survives: the connection must continue on
+// the remaining path with the dead subflow's data reinjected.
+type RSTInjector struct {
+	// Match classifies segments; a flow is condemned when one of its segments
+	// matches. Nil matches any segment carrying an MP_JOIN option.
+	Match func(seg *packet.Segment) bool
+	// After lets this many matching segments through per flow before the
+	// kill, so e.g. the handshake can complete before the axe falls.
+	After int
+	// Injected counts forged RSTs; Killed counts condemned flows.
+	Injected int
+	Killed   int
+
+	flows map[packet.FourTuple]int // matching segments seen; -1 = killed
+}
+
+// NewRSTInjector builds an injector that kills MP_JOIN subflows after
+// letting `after` matching segments through.
+func NewRSTInjector(after int) *RSTInjector {
+	return &RSTInjector{After: after, flows: make(map[packet.FourTuple]int)}
+}
+
+// Name implements netem.Box.
+func (r *RSTInjector) Name() string { return "rst-inject" }
+
+func (r *RSTInjector) matches(seg *packet.Segment) bool {
+	if r.Match != nil {
+		return r.Match(seg)
+	}
+	join, ok := seg.MPTCPOption(packet.SubMPJoin).(*packet.MPJoinOption)
+	return ok && join != nil
+}
+
+// Process implements netem.Box.
+func (r *RSTInjector) Process(ctx netem.BoxContext, dir netem.Direction, seg *packet.Segment) []*packet.Segment {
+	// Never interfere with RSTs — including the ones this box injected,
+	// which re-traverse the chain.
+	if seg.Flags.Has(packet.FlagRST) {
+		return forward(seg)
+	}
+	t := canonicalTuple(dir, seg)
+	n, tracked := r.flows[t]
+	if n == -1 {
+		// Condemned flow: blackhole everything that is not a RST.
+		seg.Release()
+		return nil
+	}
+	if !tracked && !r.matches(seg) {
+		return forward(seg)
+	}
+	if n < r.After {
+		r.flows[t] = n + 1
+		return forward(seg)
+	}
+	r.flows[t] = -1
+	r.Killed++
+
+	// Forge a RST toward the receiver (riding the segment's own coordinates,
+	// so it lands exactly at the receive point)...
+	fwd := packet.NewSegment()
+	fwd.Src, fwd.Dst = seg.Src, seg.Dst
+	fwd.Seq, fwd.Ack = seg.Seq, seg.Ack
+	fwd.Flags = packet.FlagRST | packet.FlagACK
+	ctx.Inject(dir, fwd)
+	// ...and one back toward the sender, built the way an endpoint answers an
+	// unmatched segment.
+	rev := packet.NewSegment()
+	rev.Src, rev.Dst = seg.Dst, seg.Src
+	rev.Seq, rev.Ack = seg.Ack, seg.EndSeq()
+	rev.Flags = packet.FlagRST | packet.FlagACK
+	ctx.Inject(dir.Reverse(), rev)
+	r.Injected += 2
+
+	seg.Release()
+	return nil
+}
+
+// Policer is a token-bucket traffic policer: segments above the contracted
+// rate are dropped outright (policing, not shaping — no queueing, no
+// back-pressure signal). Each direction has its own bucket. Refill is
+// computed from simulation-clock deltas, so the drop pattern is deterministic
+// for a given traffic trace.
+type Policer struct {
+	// RateBps is the contracted rate in bits per second; BurstBytes is the
+	// bucket depth (defaults to 16 KiB when zero).
+	RateBps    int64
+	BurstBytes int
+	// Dropped counts policed segments; DroppedBytes their wire bytes.
+	Dropped      int
+	DroppedBytes int
+
+	buckets [2]tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+// NewPolicer builds a policer with the given rate and burst.
+func NewPolicer(rateBps int64, burstBytes int) *Policer {
+	if burstBytes <= 0 {
+		burstBytes = 16 << 10
+	}
+	return &Policer{RateBps: rateBps, BurstBytes: burstBytes}
+}
+
+// Name implements netem.Box.
+func (p *Policer) Name() string { return "policer" }
+
+// Process implements netem.Box.
+func (p *Policer) Process(ctx netem.BoxContext, dir netem.Direction, seg *packet.Segment) []*packet.Segment {
+	b := &p.buckets[dir]
+	now := ctx.Now()
+	if !b.primed {
+		b.primed = true
+		b.tokens = float64(p.BurstBytes)
+		b.last = now
+	}
+	b.tokens += (now - b.last).Seconds() * float64(p.RateBps) / 8
+	if b.tokens > float64(p.BurstBytes) {
+		b.tokens = float64(p.BurstBytes)
+	}
+	b.last = now
+
+	cost := float64(len(seg.Payload) + 20 + packet.OptionsWireLen(seg.Options) + netem.WireOverheadBytes)
+	if cost <= b.tokens {
+		b.tokens -= cost
+		return forward(seg)
+	}
+	p.Dropped++
+	p.DroppedBytes += int(cost)
+	seg.Release()
+	return nil
+}

@@ -23,11 +23,9 @@ type Reserializer struct {
 	// Reserialized counts segments that made the round trip.
 	Reserialized int
 	// Errors counts segments the codec rejected; they are forwarded
-	// unmodified rather than dropped. One known source exists: the
-	// MP_CAPABLE-repeat data segment whose option set exceeds the 40-byte
-	// space (see the KNOWN WIRE DIVERGENCE note in internal/core/subflow.go)
-	// — roughly one segment per MPTCP connection. Anything beyond that
-	// indicates an emulator bug.
+	// unmodified rather than dropped. The emulated stacks emit only
+	// wire-expressible segments, so any nonzero count indicates an
+	// emulator bug.
 	Errors int
 }
 

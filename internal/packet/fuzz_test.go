@@ -33,6 +33,20 @@ func fuzzSeedSegments() []*Segment {
 			&MPPrioOption{AddrID: 9, Backup: true},
 			&FastcloseOption{ReceiverKey: 42},
 		}},
+		// The wire forms the adversarial middleboxes produce. A DPI-stripped
+		// SYN keeps its TCP options but has lost MP_CAPABLE entirely...
+		{Src: src, Dst: dst, Flags: FlagSYN, Options: []Option{
+			&MSSOption{MSS: 1460},
+			&SACKPermittedOption{},
+			&WindowScaleOption{Shift: 7},
+		}},
+		// ...a mid-stream stripped data segment carries unmapped payload with
+		// no DSS (the passive opener's first-option-less-segment case)...
+		{Src: src, Dst: dst, Seq: 300, Ack: 400, Flags: FlagACK | FlagPSH, Window: 4000, Options: []Option{
+			&TimestampsOption{Val: 3, Echo: 4},
+		}, Payload: []byte("stripped")},
+		// ...and the RST injector forges bare RST|ACKs with no options at all.
+		{Src: src, Dst: dst, Seq: 500, Ack: 600, Flags: FlagRST | FlagACK},
 	}
 }
 

@@ -473,7 +473,7 @@ func (e *Endpoint) onRTO() {
 	}
 	e.stats.Timeouts++
 	e.rtoBackoff++
-	if e.rtoBackoff > 10 {
+	if e.cfg.MaxRTORetries > 0 && e.rtoBackoff > e.cfg.MaxRTORetries {
 		e.teardown(ErrTimeout)
 		return
 	}

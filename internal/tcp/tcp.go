@@ -106,6 +106,13 @@ type Config struct {
 	// this long (zero disables).
 	UserTimeout time.Duration
 
+	// MaxRTORetries tears the connection down after this many consecutive
+	// retransmission timeouts without an intervening ACK (default 10, the
+	// historical tcp_retries2 value). MPTCP subflows lower it so a dead path
+	// is declared failed quickly and its unacknowledged data reinjected onto
+	// surviving subflows. Negative disables the limit.
+	MaxRTORetries int
+
 	// CongestionControl constructs the congestion controller; nil selects
 	// NewReno.
 	CongestionControl func(cc.Config) cc.Controller
@@ -154,6 +161,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 60 * time.Second
+	}
+	if c.MaxRTORetries == 0 {
+		c.MaxRTORetries = 10
 	}
 	if c.CongestionControl == nil {
 		c.CongestionControl = func(cfg cc.Config) cc.Controller { return cc.NewNewReno(cfg) }

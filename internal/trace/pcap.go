@@ -56,11 +56,10 @@ type PcapWriter struct {
 	closed  bool
 	packets int
 	// EncodeErrors counts segments the codec rejected and therefore skipped.
-	// One known source exists: the first data segment of an MPTCP connection
-	// repeats the 20-byte MP_CAPABLE next to a full DSS, exceeding the
-	// 40-byte option space (see the KNOWN WIRE DIVERGENCE note in
-	// internal/core/subflow.go) — roughly one segment per connection.
-	// Callers that require gap-free captures must check this field.
+	// The emulated stacks emit only wire-expressible segments (every option
+	// set fits the 40-byte TCP option space), so any nonzero count indicates
+	// an emulator bug. Callers that require gap-free captures check this
+	// field.
 	EncodeErrors int
 
 	scratch [pcapRecHeaderLen + ipHeaderLen]byte
@@ -148,9 +147,8 @@ func (p *PcapWriter) Packets() int { return p.packets }
 // Close flushes buffered records and closes the underlying file, if any.
 // Close is idempotent: second and later calls return nil, so callers can
 // pair a defensive `defer w.Close()` with an explicit error-checked Close.
-// Close does not fail on EncodeErrors — the known MP_CAPABLE-repeat
-// divergence (see the field comment) would otherwise fail every MPTCP
-// capture; callers requiring gap-free captures check the counter instead.
+// Close does not fail on EncodeErrors; callers requiring gap-free captures
+// check the counter instead.
 func (p *PcapWriter) Close() error {
 	if p.closed {
 		return nil
