@@ -7,8 +7,11 @@
 //	mptcpbench -run fig4
 //	mptcpbench -run all -quick
 //	mptcpbench -run fig3 -quick -format json -out BENCH_fig3.json
+//	mptcpbench -scenario list
 //	mptcpbench -scenario fleet-http -clients 1000 -workers 8
 //	mptcpbench -scenario fleet-openloop -rate 400 -duration 5s -sizedist webmix
+//	mptcpbench -scenario fleet-corelink -shared-link core:100mbps:100ms -rate 800
+//	mptcpbench -scenario fleet-cdn -clients 256 -shared-link egress:200mbps
 //	mptcpbench -scenario incast -quick -format json
 //	mptcpbench -scenario fleet-chaos -faults flap500 -adversary rst
 //
@@ -31,17 +34,19 @@ import (
 	"strings"
 	"time"
 
+	"mptcpgo/internal/capacity"
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/faults"
 	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/middlebox"
+	"mptcpgo/internal/netem"
 	"mptcpgo/internal/workload"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	run := flag.String("run", "", "experiment id to run (or 'all')")
-	scenario := flag.String("scenario", "", "fleet scenario to run: fleet-http | fleet-openloop | incast | mixed | fleet-chaos")
+	scenario := flag.String("scenario", "", "fleet scenario to run ('list' enumerates them)")
 	quick := flag.Bool("quick", false, "run a reduced sweep that finishes in seconds")
 	seed := flag.Uint64("seed", 42, "base RNG seed (runs are deterministic per seed; 0 is a legal seed)")
 	format := flag.String("format", "text", "output format: text | json | csv")
@@ -57,6 +62,7 @@ func main() {
 	arrival := flag.String("arrival", "poisson", "fleet-openloop: arrival process: poisson | fixed | onoff[:on_ms,off_ms]")
 	faultSpec := flag.String("faults", "", "fleet-chaos: fault schedule — a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or grammar like 'flap:path=1,period=1s,down=250ms' (see internal/faults)")
 	adversary := flag.String("adversary", "", "fleet-chaos: adversarial middlebox preset: "+strings.Join(middlebox.AdversaryPresetNames(), " | "))
+	sharedLink := flag.String("shared-link", "", "coupled scenarios: the shared bottleneck as [name:]rate[:epoch], e.g. 100mbps, core:1gbps:50ms (fleet-corelink, fleet-cdn, fleet-http)")
 	flag.Parse()
 
 	switch *format {
@@ -65,6 +71,10 @@ func main() {
 		fail(fmt.Errorf("unknown output format %q (want text, json or csv)", *format))
 	}
 
+	if *scenario == "list" {
+		listScenarios()
+		return
+	}
 	if *scenario != "" {
 		// -scenario selects a fleet run; combining it with flags it cannot
 		// honour would silently produce output for different options than
@@ -75,12 +85,20 @@ func main() {
 		if *paperEra {
 			fail(fmt.Errorf("-paper-era-cpu does not apply to fleet scenarios"))
 		}
-		res, elapsed, err := runScenario(*scenario, scenarioOptions{
+		o := scenarioOptions{
 			seed: *seed, members: *clients, shards: *shards, workers: *workers,
 			quick: *quick, pcapDir: *pcapDir,
 			rate: *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
 			faults: *faultSpec, adversary: *adversary,
-		})
+		}
+		if *sharedLink != "" {
+			l, err := capacity.ParseSharedLink(*sharedLink)
+			if err != nil {
+				fail(err)
+			}
+			o.shared = &l
+		}
+		res, elapsed, err := runScenario(*scenario, o)
 		if err != nil {
 			fail(err)
 		}
@@ -97,12 +115,7 @@ func main() {
 			e, _ := experiments.Get(id)
 			fmt.Printf("  %-10s %s\n", id, e.Title)
 		}
-		fmt.Println("available fleet scenarios (-scenario):")
-		fmt.Println("  fleet-http     1000+ closed-loop clients against sharded server replicas")
-		fmt.Println("  fleet-openloop open-loop arrivals (-rate/-arrival) with drawn flow sizes (-sizedist)")
-		fmt.Println("  incast         synchronized many-to-one fan-in over the N-host graph")
-		fmt.Println("  mixed          MPTCP foreground vs plain-TCP background traffic")
-		fmt.Println("  fleet-chaos    integrity-checked uploads under fault schedules (-faults) and adversarial middleboxes (-adversary)")
+		listScenarios()
 		if *run == "" && !*list {
 			fmt.Println("\nuse -run <id> (or -run all) to execute one")
 		}
@@ -143,7 +156,7 @@ type scenarioOptions struct {
 	quick           bool
 	pcapDir         string
 
-	// fleet-openloop only.
+	// open-loop scenarios (fleet-openloop, fleet-corelink) only.
 	rate     float64
 	window   time.Duration
 	sizeDist string
@@ -152,76 +165,74 @@ type scenarioOptions struct {
 	// fleet-chaos only.
 	faults    string
 	adversary string
+
+	// coupled scenarios only: the -shared-link bottleneck, nil when unset.
+	shared *capacity.SharedLink
+}
+
+// scenarioDef registers one fleet scenario: its name, a one-line description
+// for '-scenario list', and the runner that applies the CLI sizing.
+type scenarioDef struct {
+	name     string
+	describe string
+	run      func(o scenarioOptions) (*experiments.Result, error)
+}
+
+// scenarios is the ordered registry behind -scenario; runScenario and
+// '-scenario list' both walk it, so a scenario cannot be runnable but
+// unlisted or vice versa.
+var scenarios = []scenarioDef{
+	{"fleet-http", "1000+ closed-loop clients against sharded server replicas (-shared-link couples them)", runHTTPScenario},
+	{"fleet-openloop", "open-loop arrivals (-rate/-arrival) with drawn flow sizes (-sizedist)", runOpenLoopScenario},
+	{"fleet-corelink", "open-loop fleet whose downloads jointly transit one shared core link (-shared-link)", runCorelinkScenario},
+	{"fleet-cdn", "CDN flash crowd: every client fetches one object through a shared origin egress", runCDNScenario},
+	{"incast", "synchronized many-to-one fan-in over the N-host graph", runIncastScenario},
+	{"mixed", "MPTCP foreground vs plain-TCP background traffic", runMixedScenario},
+	{"fleet-chaos", "integrity-checked uploads under fault schedules (-faults) and adversarial middleboxes (-adversary)", runChaosScenario},
+}
+
+// listScenarios prints the scenario registry, one line per scenario.
+func listScenarios() {
+	fmt.Println("available fleet scenarios (-scenario):")
+	for _, s := range scenarios {
+		fmt.Printf("  %-14s %s\n", s.name, s.describe)
+	}
 }
 
 // runScenario dispatches one fleet scenario with CLI sizing applied.
 func runScenario(name string, o scenarioOptions) (*experiments.Result, time.Duration, error) {
-	start := time.Now()
-	var res *experiments.Result
-	var err error
-	switch name {
-	case "fleet-http":
-		n, requests, size := 1000, 2, 32<<10
-		if o.quick {
-			n, requests, size = 64, 1, 16<<10
+	for _, s := range scenarios {
+		if s.name != name {
+			continue
 		}
-		if o.members > 0 {
-			n = o.members
-		}
-		spec := fleet.DefaultHTTPSpec(o.seed, n, requests, size)
-		spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = o.shards, o.workers, o.quick, o.pcapDir
-		res, err = fleet.RunHTTP(spec)
-	case "fleet-openloop":
-		res, err = runOpenLoopScenario(o)
-	case "incast":
-		n, block := 256, 256<<10
-		if o.quick {
-			n, block = 32, 128<<10
-		}
-		if o.members > 0 {
-			n = o.members
-		}
-		res, err = fleet.RunIncast(fleet.IncastSpec{
-			Seed: o.seed, Senders: n, BlockSize: block,
-			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
-		})
-	case "mixed":
-		n, dur := 32, 5*time.Second
-		if o.quick {
-			n, dur = 8, 2*time.Second
-		}
-		if o.members > 0 {
-			n = o.members
-		}
-		res, err = fleet.RunMixed(fleet.MixedSpec{
-			Seed: o.seed, Pairs: n, Duration: dur,
-			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
-		})
-	case "fleet-chaos":
-		n := 32
-		if o.quick {
-			n = 8
-		}
-		if o.members > 0 {
-			n = o.members
-		}
-		var spec faults.Spec
-		spec, err = faults.Parse(o.faults)
-		if err != nil {
-			return nil, 0, err
-		}
-		res, err = fleet.RunChaos(fleet.ChaosSpec{
-			Seed: o.seed, Members: n, Faults: spec, Adversary: o.adversary,
-			Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
-		})
-	default:
-		return nil, 0, fmt.Errorf("unknown scenario %q (want fleet-http, fleet-openloop, incast, mixed or fleet-chaos)", name)
+		start := time.Now()
+		res, err := s.run(o)
+		return res, time.Since(start), err
 	}
-	return res, time.Since(start), err
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.name
+	}
+	return nil, 0, fmt.Errorf("unknown scenario %q (want %s, or 'list')", name, strings.Join(names, ", "))
 }
 
-// runOpenLoopScenario resolves the open-loop flags into an OpenLoopSpec.
-func runOpenLoopScenario(o scenarioOptions) (*experiments.Result, error) {
+func runHTTPScenario(o scenarioOptions) (*experiments.Result, error) {
+	n, requests, size := 1000, 2, 32<<10
+	if o.quick {
+		n, requests, size = 64, 1, 16<<10
+	}
+	if o.members > 0 {
+		n = o.members
+	}
+	spec := fleet.DefaultHTTPSpec(o.seed, n, requests, size)
+	spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = o.shards, o.workers, o.quick, o.pcapDir
+	spec.Shared = o.shared
+	return fleet.RunHTTP(spec)
+}
+
+// openLoopSpecFrom resolves the open-loop flags into an OpenLoopSpec; shared
+// between fleet-openloop and fleet-corelink.
+func openLoopSpecFrom(o scenarioOptions) (fleet.OpenLoopSpec, error) {
 	hosts, rate, window := 256, 400.0, 5*time.Second
 	if o.quick {
 		hosts, rate, window = 32, 60.0, 2*time.Second
@@ -237,14 +248,107 @@ func runOpenLoopScenario(o scenarioOptions) (*experiments.Result, error) {
 	}
 	arrival, err := workload.ParseArrival(o.arrival, rate)
 	if err != nil {
-		return nil, err
+		return fleet.OpenLoopSpec{}, err
 	}
 	sizes, err := workload.ParseSizeDist(o.sizeDist)
 	if err != nil {
+		return fleet.OpenLoopSpec{}, err
+	}
+	return fleet.OpenLoopSpec{
+		Seed: o.seed, Hosts: hosts, Arrival: arrival, Sizes: sizes, Window: window,
+		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+	}, nil
+}
+
+func runOpenLoopScenario(o scenarioOptions) (*experiments.Result, error) {
+	if o.shared != nil {
+		return nil, fmt.Errorf("fleet-openloop shards are uncoupled; use -scenario fleet-corelink for a shared bottleneck")
+	}
+	spec, err := openLoopSpecFrom(o)
+	if err != nil {
 		return nil, err
 	}
-	return fleet.RunOpenLoop(fleet.OpenLoopSpec{
-		Seed: o.seed, Hosts: hosts, Arrival: arrival, Sizes: sizes, Window: window,
+	return fleet.RunOpenLoop(spec)
+}
+
+func runCorelinkScenario(o scenarioOptions) (*experiments.Result, error) {
+	spec, err := openLoopSpecFrom(o)
+	if err != nil {
+		return nil, err
+	}
+	core := capacity.SharedLink{Name: capacity.DefaultName, RateBps: netem.Mbps(100)}
+	if o.quick {
+		core.RateBps = netem.Mbps(10)
+	}
+	if o.shared != nil {
+		core = *o.shared
+	}
+	return fleet.RunCorelink(fleet.CorelinkSpec{OpenLoopSpec: spec, Shared: core})
+}
+
+func runCDNScenario(o scenarioOptions) (*experiments.Result, error) {
+	n, size := 256, 1<<20
+	if o.quick {
+		n, size = 32, 256<<10
+	}
+	if o.members > 0 {
+		n = o.members
+	}
+	spec := fleet.CDNSpec{
+		Seed: o.seed, Clients: n, ObjectSize: size,
+		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+	}
+	if o.quick {
+		spec.Shared.RateBps = netem.Mbps(50)
+	}
+	if o.shared != nil {
+		spec.Shared = *o.shared
+	}
+	return fleet.RunCDN(spec)
+}
+
+func runIncastScenario(o scenarioOptions) (*experiments.Result, error) {
+	n, block := 256, 256<<10
+	if o.quick {
+		n, block = 32, 128<<10
+	}
+	if o.members > 0 {
+		n = o.members
+	}
+	return fleet.RunIncast(fleet.IncastSpec{
+		Seed: o.seed, Senders: n, BlockSize: block,
+		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+	})
+}
+
+func runMixedScenario(o scenarioOptions) (*experiments.Result, error) {
+	n, dur := 32, 5*time.Second
+	if o.quick {
+		n, dur = 8, 2*time.Second
+	}
+	if o.members > 0 {
+		n = o.members
+	}
+	return fleet.RunMixed(fleet.MixedSpec{
+		Seed: o.seed, Pairs: n, Duration: dur,
+		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+	})
+}
+
+func runChaosScenario(o scenarioOptions) (*experiments.Result, error) {
+	n := 32
+	if o.quick {
+		n = 8
+	}
+	if o.members > 0 {
+		n = o.members
+	}
+	spec, err := faults.Parse(o.faults)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.RunChaos(fleet.ChaosSpec{
+		Seed: o.seed, Members: n, Faults: spec, Adversary: o.adversary,
 		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
 	})
 }

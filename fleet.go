@@ -4,10 +4,23 @@ import (
 	"fmt"
 	"time"
 
+	"mptcpgo/internal/capacity"
 	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/workload"
 )
+
+// sharedBottleneck carries a builder's SharedBottleneck declaration until Run
+// resolves it into a capacity.SharedLink.
+type sharedBottleneck struct {
+	name     string
+	rateMbps float64
+	weight   func(i int) float64
+}
+
+func (s *sharedBottleneck) link() capacity.SharedLink {
+	return capacity.SharedLink{Name: s.name, RateBps: netem.Mbps(s.rateMbps)}
+}
 
 // ClientGroup declares a homogeneous group of closed-loop HTTP clients in a
 // Fleet: how many, what access link each gets, and what each requests. A
@@ -47,6 +60,7 @@ type Fleet struct {
 	deadline time.Duration
 	label    string
 	server   *Config
+	shared   *sharedBottleneck
 	err      error
 }
 
@@ -85,6 +99,21 @@ func (f *Fleet) Label(s string) *Fleet { f.label = s; return f }
 // ServerConfig overrides the listener configuration of every server replica.
 func (f *Fleet) ServerConfig(cfg Config) *Fleet { f.server = &cfg; return f }
 
+// SharedBottleneck couples every client's download direction to one named
+// fleet-global resource of the given rate: the shards run in lock-stepped
+// epoch windows and a deterministic max-min allocator divides the rate among
+// them each window, so the fleet's aggregate goodput saturates at rateMbps no
+// matter how the clients are sharded. weight gives client i's allocation
+// weight (nil = equal); a shard's weight is the sum of its clients'.
+func (f *Fleet) SharedBottleneck(name string, rateMbps float64, weight func(i int) float64) *Fleet {
+	if rateMbps <= 0 {
+		f.fail(fmt.Errorf("mptcpgo: shared bottleneck %q needs a positive rate, got %g Mbps", name, rateMbps))
+		return f
+	}
+	f.shared = &sharedBottleneck{name: name, rateMbps: rateMbps, weight: weight}
+	return f
+}
+
 func (f *Fleet) fail(err error) {
 	if f.err == nil {
 		f.err = err
@@ -107,6 +136,11 @@ func (f *Fleet) Run() (*Result, error) {
 		Deadline: f.deadline,
 		Label:    f.label,
 		Server:   f.server,
+	}
+	if f.shared != nil {
+		l := f.shared.link()
+		spec.Shared = &l
+		spec.Weight = f.shared.weight
 	}
 	i := 0
 	for _, g := range f.groups {
@@ -146,6 +180,7 @@ type OpenLoop struct {
 	// arrivalSpec remembers the last process family chosen via Arrival, so
 	// Rate can re-parameterize it instead of silently switching families.
 	arrivalSpec string
+	shared      *sharedBottleneck
 	err         error
 }
 
@@ -224,6 +259,21 @@ func (o *OpenLoop) Workers(n int) *OpenLoop { o.spec.Workers = n; return o }
 // Label overrides the result title.
 func (o *OpenLoop) Label(s string) *OpenLoop { o.spec.Label = s; return o }
 
+// SharedBottleneck couples every arrival host's download direction to one
+// named fleet-global resource of the given rate (the fleet-corelink
+// scenario): the shards run in lock-stepped epoch windows and a deterministic
+// max-min allocator divides the rate among them each window, so offered load
+// past rateMbps produces a global goodput knee instead of per-shard ones.
+// weight gives host i's allocation weight (nil = equal).
+func (o *OpenLoop) SharedBottleneck(name string, rateMbps float64, weight func(i int) float64) *OpenLoop {
+	if rateMbps <= 0 {
+		o.fail(fmt.Errorf("mptcpgo: shared bottleneck %q needs a positive rate, got %g Mbps", name, rateMbps))
+		return o
+	}
+	o.shared = &sharedBottleneck{name: name, rateMbps: rateMbps, weight: weight}
+	return o
+}
+
 func (o *OpenLoop) fail(err error) {
 	if o.err == nil {
 		o.err = err
@@ -234,6 +284,13 @@ func (o *OpenLoop) fail(err error) {
 func (o *OpenLoop) Run() (*Result, error) {
 	if o.err != nil {
 		return nil, o.err
+	}
+	if o.shared != nil {
+		return fleet.RunCorelink(fleet.CorelinkSpec{
+			OpenLoopSpec: o.spec,
+			Shared:       o.shared.link(),
+			Weight:       o.shared.weight,
+		})
 	}
 	return fleet.RunOpenLoop(o.spec)
 }

@@ -1,0 +1,255 @@
+package capacity
+
+import "sort"
+
+// MaxMin computes the weighted max-min fair allocation of capacity (bits per
+// second) among the given demands: every claimant receives
+// min(demand, water × weight) with the water level chosen so the allocations
+// sum to min(capacity, Σdemands). Nobody gets more than they asked for, and a
+// claimant is capped below its demand only when everyone still unsatisfied is
+// held to the same weighted share.
+//
+// Weights ≤ 0 are treated as 1 (the unweighted default). The computation is
+// exact one-pass water-filling over claimants sorted by demand/weight with
+// index-order tie-breaking, so the result is a pure deterministic function of
+// (capacity, demands, weights) — no map iteration, no randomness.
+func MaxMin(capacity int64, demands []int64, weights []float64) []int64 {
+	n := len(demands)
+	alloc := make([]int64, n)
+	if n == 0 || capacity <= 0 {
+		return alloc
+	}
+	w := make([]float64, n)
+	wsum := 0.0
+	for i := range w {
+		w[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		wsum += w[i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Ascending demand-per-weight: once one claimant's fair share falls short
+	// of its demand, every later claimant's does too.
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		ra := float64(demands[ia]) / w[ia]
+		rb := float64(demands[ib]) / w[ib]
+		if ra != rb {
+			return ra < rb
+		}
+		return ia < ib
+	})
+	remaining := capacity
+	for _, i := range order {
+		if remaining <= 0 {
+			break
+		}
+		share := int64(float64(remaining) * w[i] / wsum)
+		d := demands[i]
+		if d < 0 {
+			d = 0
+		}
+		if d <= share {
+			alloc[i] = d
+		} else {
+			alloc[i] = share
+		}
+		remaining -= alloc[i]
+		wsum -= w[i]
+	}
+	return alloc
+}
+
+// Admit turns one window's measured demands into the next window's admitted
+// rates — the allocation rule both coupler (across shards) and meter (across
+// a shard's members) apply:
+//
+//  1. Active claimants (nonzero measured demand) compete by weighted max-min
+//     over *doubled* demands. Raw measurements would pin the allocation — a
+//     TCP sender above a rate cap is ack-clocked to the cap, so its measured
+//     rate equals its allocation and max-min would never grant more even with
+//     the resource idle; the doubling leaves every active claimant a
+//     multiplicative probe band.
+//  2. Every claimant still below its weighted fair share — idle members, and
+//     crucially the barely-active ones whose doubled demand is still tiny
+//     (a flow that has sent one handshake) — is topped up toward the fair
+//     share out of whatever the probe targets left unclaimed. Admission
+//     stays open and a fresh flow starts at fair speed when the resource
+//     has slack, but a contended resource is never stranded on claimants
+//     with nothing to send.
+//  3. Remaining headroom is spread in proportion to the grants, so
+//     demonstrated demand absorbs most of the slack and can keep revealing
+//     growth.
+//
+// The result always sums to at most capacity (exactly capacity whenever any
+// demand was measured), and is a pure deterministic function of its
+// arguments. A window with no measured demand at all falls back to the
+// weight-proportional spread, which is also the correct epoch-0 allocation.
+func Admit(capacity int64, demands []int64, weights []float64) []int64 {
+	n := len(demands)
+	if n == 0 {
+		return []int64{}
+	}
+	targets := make([]int64, n)
+	anyActive := false
+	for i, d := range demands {
+		if d > 0 {
+			targets[i] = 2 * d
+			anyActive = true
+		}
+	}
+	if !anyActive {
+		return SpreadHeadroom(capacity, make([]int64, n), weights)
+	}
+	alloc := MaxMin(capacity, targets, weights)
+	var used int64
+	for _, a := range alloc {
+		used += a
+	}
+	if leftover := capacity - used; leftover > 0 {
+		// Fair-share floors, carved from the leftover only: every claimant
+		// whose probe grant fell short of a weighted fair share of the whole
+		// resource — idle members and barely-active ones alike — is topped up
+		// toward it, max-min over the shortfalls so the leftover is never
+		// oversubscribed. Claimants already at or above fair share have a zero
+		// shortfall and stay out.
+		wsum := 0.0
+		for i := range demands {
+			w := 1.0
+			if i < len(weights) && weights[i] > 0 {
+				w = weights[i]
+			}
+			wsum += w
+		}
+		floors := make([]int64, n)
+		for i := range demands {
+			w := 1.0
+			if i < len(weights) && weights[i] > 0 {
+				w = weights[i]
+			}
+			if fair := int64(float64(capacity) * w / wsum); alloc[i] < fair {
+				floors[i] = fair - alloc[i]
+			}
+		}
+		for i, g := range MaxMin(leftover, floors, weights) {
+			alloc[i] += g
+		}
+	}
+	return SpreadHeadroomByAlloc(capacity, alloc, weights)
+}
+
+// SmoothDemand folds one window's measured demand into a peak-hold-with-decay
+// estimate: the new estimate is the measurement unless the previous estimate,
+// halved, is larger. A TCP sender waiting out a retransmission timeout offers
+// nothing for a window, and snapping its demand to zero would hand it a
+// near-zero cap that makes the stall permanent — under contention a
+// zero-demand claimant wins no allocation at all. Halving instead lets a
+// genuinely finished claimant release its share within a few windows while a
+// stalled one keeps enough admitted rate to recover.
+func SmoothDemand(prev, measured int64) int64 {
+	if half := prev / 2; measured < half {
+		return half
+	}
+	return measured
+}
+
+// TrickleFloor is the minimum admitted rate for one claimant of a shared
+// resource: about two full-size segments per epoch window, bounded by the
+// claimant's weighted fair share of the resource. A real shared link is one
+// FIFO — any sender can always inject a packet — and the distributed
+// equivalent is that no claimant's cap may fall below a trickle. Below it, a
+// claimant that stalls for one window gets a near-zero cap, its next window's
+// enqueue commits its link to seconds of serialization at that rate, and the
+// stall becomes self-sustaining. Callers raise an Admit result to the floor
+// after allocation; the overbooking is at most a few segments per stalled
+// claimant per epoch, and a claimant actually using its floor reveals demand
+// and rejoins the capacity-constrained allocation next window.
+func TrickleFloor(capacity int64, epochSec float64, weight, wsum float64) int64 {
+	f := int64(2 * 1500 * 8 / epochSec)
+	if weight <= 0 {
+		weight = 1
+	}
+	if fair := int64(float64(capacity) * weight / wsum); fair < f {
+		f = fair
+	}
+	return f
+}
+
+// SpreadHeadroom distributes the capacity left unclaimed by a max-min
+// allocation back to the claimants in proportion to weight, returning a new
+// slice that sums to (almost exactly) capacity. The headroom is what lets a
+// rate-capped TCP flow reveal growing demand: with alloc == last-measured
+// offered bytes, the cap would pin the measurement to itself forever; with
+// each claimant holding its allocation plus a weighted slice of the slack, a
+// sender that wants more can offer more, and the next epoch's max-min sees
+// it. Integer floors leave at most a few bits per second unassigned; they go
+// to the lowest-indexed claimant so the result stays deterministic.
+func SpreadHeadroom(capacity int64, alloc []int64, weights []float64) []int64 {
+	n := len(alloc)
+	out := make([]int64, n)
+	if n == 0 {
+		return out
+	}
+	var used int64
+	wsum := 0.0
+	w := make([]float64, n)
+	for i := range alloc {
+		used += alloc[i]
+		w[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		wsum += w[i]
+	}
+	leftover := capacity - used
+	if leftover < 0 {
+		leftover = 0
+	}
+	var given int64
+	for i := range alloc {
+		extra := int64(float64(leftover) * w[i] / wsum)
+		out[i] = alloc[i] + extra
+		given += extra
+	}
+	out[0] += leftover - given
+	return out
+}
+
+// SpreadHeadroomByAlloc distributes the unclaimed capacity in proportion to
+// each claimant's granted allocation instead of its weight: headroom follows
+// demonstrated demand, so the active claimants absorb the slack (and ramp
+// multiplicatively on top of their probe targets) while idle claimants keep
+// only their probe floor instead of stranding a weight-share of an
+// almost-idle resource. When nothing was granted — epoch zero, or a fully
+// idle window — it falls back to the weighted spread. The integer residue
+// goes to the first claimant with a grant, keeping the result deterministic.
+func SpreadHeadroomByAlloc(capacity int64, alloc []int64, weights []float64) []int64 {
+	var used int64
+	for _, a := range alloc {
+		used += a
+	}
+	if used <= 0 {
+		return SpreadHeadroom(capacity, alloc, weights)
+	}
+	out := make([]int64, len(alloc))
+	leftover := capacity - used
+	if leftover < 0 {
+		leftover = 0
+	}
+	var given int64
+	first := -1
+	for i, a := range alloc {
+		extra := int64(float64(leftover) * float64(a) / float64(used))
+		out[i] = a + extra
+		given += extra
+		if first < 0 && a > 0 {
+			first = i
+		}
+	}
+	out[first] += leftover - given
+	return out
+}

@@ -1,0 +1,190 @@
+package capacity
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMaxMinHandComputed pins the allocator to hand-computed water-filling
+// results: a bug in the sort order, the share arithmetic or the remaining
+// bookkeeping moves whole epochs of fleet capacity, so the cases are exact.
+func TestMaxMinHandComputed(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int64
+		demands  []int64
+		weights  []float64
+		want     []int64
+	}{
+		{
+			// Three shards, equal weights: the light shard keeps its demand,
+			// the two heavy ones split the rest at the same water level.
+			name: "threeShardsEqualWeights", capacity: 12,
+			demands: []int64{2, 5, 9}, weights: nil,
+			want: []int64{2, 5, 5},
+		},
+		{
+			// The weighted case from the coupler docs: shard 0 carries twice
+			// the weight, the small shard is satisfied first, and the two
+			// bottlenecked shards divide the remainder 2:1.
+			name: "threeShardsWeighted", capacity: 12_000_000,
+			demands: []int64{9_000_000, 9_000_000, 2_000_000}, weights: []float64{2, 1, 1},
+			want: []int64{6_666_666, 3_333_334, 2_000_000},
+		},
+		{
+			name: "underloadedEveryoneSatisfied", capacity: 100,
+			demands: []int64{10, 20, 30}, weights: nil,
+			want: []int64{10, 20, 30},
+		},
+		{
+			name: "zeroCapacity", capacity: 0,
+			demands: []int64{5, 5}, weights: nil,
+			want: []int64{0, 0},
+		},
+		{
+			name: "negativeDemandClamped", capacity: 10,
+			demands: []int64{-3, 4}, weights: nil,
+			want: []int64{0, 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MaxMin(tc.capacity, tc.demands, tc.weights)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("MaxMin(%d, %v, %v) = %v, want %v",
+					tc.capacity, tc.demands, tc.weights, got, tc.want)
+			}
+			var sum int64
+			for _, a := range got {
+				sum += a
+			}
+			if sum > tc.capacity {
+				t.Fatalf("allocation %v oversubscribes capacity %d", got, tc.capacity)
+			}
+		})
+	}
+}
+
+func TestMaxMinDeterministicTieBreak(t *testing.T) {
+	// Identical demand/weight ratios must resolve in index order, every time:
+	// integer water-filling hands the rounding slack to the last claimant in
+	// the (stable) order, so [3 3 4] exactly — never a permutation of it.
+	for trial := 0; trial < 10; trial++ {
+		got := MaxMin(10, []int64{7, 7, 7}, nil)
+		if want := []int64{3, 3, 4}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MaxMin = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSpreadHeadroom(t *testing.T) {
+	got := SpreadHeadroom(100, []int64{10, 20, 30}, nil)
+	// Leftover 40 splits 13/13/13 with the integer residue on claimant 0.
+	if want := []int64{24, 33, 43}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SpreadHeadroom = %v, want %v", got, want)
+	}
+	var sum int64
+	for _, a := range got {
+		sum += a
+	}
+	if sum != 100 {
+		t.Fatalf("headroom spread sums to %d, want the full capacity 100", sum)
+	}
+}
+
+func TestSpreadHeadroomByAllocFollowsDemand(t *testing.T) {
+	// The only active claimant absorbs all headroom; idles stay at zero.
+	got := SpreadHeadroomByAlloc(100, []int64{0, 50, 0}, nil)
+	if want := []int64{0, 100, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SpreadHeadroomByAlloc = %v, want %v", got, want)
+	}
+	// Fully idle windows fall back to the weighted spread.
+	got = SpreadHeadroomByAlloc(80, []int64{0, 0}, []float64{1, 3})
+	if want := []int64{20, 60}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("idle fallback = %v, want %v", got, want)
+	}
+}
+
+func TestAdmitIdleFloorsFromLeftover(t *testing.T) {
+	// One active claimant at 10 of 80, two idle. The active's probe target is
+	// 20; the idles each get their fair-share floor (80/3 = 26) out of the
+	// leftover; the remaining headroom follows the grants. The result must
+	// use the whole capacity and give every idle claimant at least its floor.
+	got := Admit(80, []int64{0, 10, 0}, nil)
+	var sum int64
+	for _, a := range got {
+		sum += a
+	}
+	if sum != 80 {
+		t.Fatalf("Admit = %v sums to %d, want the full 80", got, sum)
+	}
+	if got[0] < 26 || got[2] < 26 {
+		t.Fatalf("Admit = %v: idle claimants got less than their 26-unit floor", got)
+	}
+	if got[1] < 20 {
+		t.Fatalf("Admit = %v: active claimant got less than its doubled demand", got)
+	}
+}
+
+func TestAdmitOverloadIsWeightedMaxMin(t *testing.T) {
+	// Every claimant hungry: idle floors and headroom vanish and Admit
+	// degenerates to weighted max-min over the doubled demands.
+	demands := []int64{9_000_000, 9_000_000, 9_000_000}
+	got := Admit(12_000_000, demands, []float64{2, 1, 1})
+	want := MaxMin(12_000_000, []int64{18_000_000, 18_000_000, 18_000_000}, []float64{2, 1, 1})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Admit = %v, want the pure weighted max-min %v", got, want)
+	}
+}
+
+func TestAdmitAllIdleIsWeightSpread(t *testing.T) {
+	got := Admit(80, []int64{0, 0}, []float64{1, 3})
+	if want := []int64{20, 60}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Admit = %v, want the weighted spread %v", got, want)
+	}
+}
+
+func TestSmoothDemand(t *testing.T) {
+	cases := []struct{ prev, measured, want int64 }{
+		{0, 5_000, 5_000},     // cold start takes the measurement
+		{8_000, 9_000, 9_000}, // growth takes the measurement
+		{8_000, 0, 4_000},     // a stall window decays by half, not to zero
+		{8_000, 3_000, 4_000}, // a dip below half also holds the decayed peak
+		{8_000, 4_500, 4_500}, // a dip above half is believed
+		{1, 0, 0},             // decay does reach zero for a finished claimant
+	}
+	for _, tc := range cases {
+		if got := SmoothDemand(tc.prev, tc.measured); got != tc.want {
+			t.Errorf("SmoothDemand(%d, %d) = %d, want %d", tc.prev, tc.measured, got, tc.want)
+		}
+	}
+}
+
+func TestTrickleFloor(t *testing.T) {
+	// 100ms epochs: two 1500-byte segments per window = 240 kbps.
+	if got := TrickleFloor(10_000_000, 0.1, 1, 32); got != 240_000 {
+		t.Errorf("TrickleFloor = %d, want 240000", got)
+	}
+	// The floor never exceeds the claimant's weighted fair share.
+	if got := TrickleFloor(320_000, 0.1, 1, 32); got != 10_000 {
+		t.Errorf("fair-share-bounded floor = %d, want 10000", got)
+	}
+}
+
+// TestAdmitConverges drives the measured-demand feedback loop the way an
+// epoch sequence does: each round the hungry claimant "offers" exactly what
+// it was last admitted (the ack-clocked TCP behaviour that motivates the
+// probe doubling). Raw max-min would pin the loop at its first allocation;
+// Admit must walk a single hungry claimant up to essentially the whole
+// resource, with the idle claimants holding only slack-funded floors.
+func TestAdmitConverges(t *testing.T) {
+	const capacity = 10_000_000
+	measured := []int64{1_000, 0, 0} // one hungry claimant, two idle
+	for round := 0; round < 16; round++ {
+		alloc := Admit(capacity, measured, nil)
+		measured = []int64{alloc[0], 0, 0} // hungry claimant fills its cap
+	}
+	if min := int64(capacity * 9 / 10); measured[0] < min {
+		t.Fatalf("hungry claimant converged to %d bps, want >= %d", measured[0], min)
+	}
+}

@@ -1,0 +1,180 @@
+package capacity
+
+import (
+	"fmt"
+	"os"
+
+	"mptcpgo/internal/faults"
+	"mptcpgo/internal/netem"
+)
+
+var capDebug = os.Getenv("CAPDEBUG") != ""
+
+// memberLink is one tagged link direction owned by a shard: the directional
+// link, its pre-coupling configuration (the restore point for every swap),
+// the member's weight, and the byte counters at the last collection.
+type memberLink struct {
+	link        *netem.Link
+	orig        netem.LinkConfig
+	weight      float64
+	lastOffered uint64
+	lastSent    uint64
+	// demandBps is the member's offered rate over the last collected window,
+	// the demand signal for the shard-internal allocation.
+	demandBps int64
+}
+
+// Meter is the shard-local side of the capacity exchange. It is built after
+// the shard materializes its network, from the SharedAB/SharedBA tags on the
+// shard's graph spec: for every coupler link it holds the member link
+// directions that transit the resource. Each epoch the fleet engine calls
+// Apply (cap the members to the shard's admitted rate), runs the window, and
+// calls Collect (read back the members' offered/sent byte deltas).
+//
+// Apply subdivides the shard's admitted rate across its members with the same
+// weighted max-min + headroom rule the coupler uses across shards, so the
+// two-level allocation degenerates to the flat one when every shard holds one
+// member. Caps land as link-config swaps through faults.CapRate — the rate
+// squeeze transform — against the member's original configuration, so a
+// member whose own rate is below its share keeps its own rate.
+type Meter struct {
+	c       *Coupler
+	members [][]*memberLink // [coupler link index] -> tagged members, spec order
+	offered []uint64        // scratch reused by Collect
+	sent    []uint64
+}
+
+// NewMeter scans the graph spec's shared tags against the built network
+// (spec.Links[i] corresponds to n.Paths[i]) and returns the shard's meter.
+// weightOf supplies the member weight for spec link index i (nil = 1); both
+// directions of a doubly-tagged link count as distinct members. Tags naming
+// no coupler link are an error — a silently ignored tag would let a scenario
+// believe a bottleneck is enforced when it is not.
+func NewMeter(c *Coupler, n *netem.Network, spec netem.GraphSpec, weightOf func(i int) float64) (*Meter, error) {
+	m := &Meter{
+		c:       c,
+		members: make([][]*memberLink, len(c.links)),
+		offered: make([]uint64, len(c.links)),
+		sent:    make([]uint64, len(c.links)),
+	}
+	add := func(tag string, l *netem.Link, i int) error {
+		if tag == "" {
+			return nil
+		}
+		j := c.LinkIndex(tag)
+		if j < 0 {
+			return fmt.Errorf("capacity: link %d tagged with unknown shared resource %q", i, tag)
+		}
+		w := 1.0
+		if weightOf != nil {
+			w = weightOf(i)
+		}
+		m.members[j] = append(m.members[j], &memberLink{link: l, orig: l.Config(), weight: w})
+		return nil
+	}
+	for i, ls := range spec.Links {
+		p := n.Paths[i]
+		if err := add(ls.SharedAB, p.LinkAB(), i); err != nil {
+			return nil, err
+		}
+		if err := add(ls.SharedBA, p.LinkBA(), i); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Members returns how many link directions the shard contributes to coupler
+// link j.
+func (m *Meter) Members(j int) int { return len(m.members[j]) }
+
+// Weight sums the shard's member weights on coupler link j — the shard's
+// allocation weight. Scenario builders use it to derive the coupler's
+// per-shard weights from the same tags the meter will meter.
+func (m *Meter) Weight(j int) float64 {
+	var w float64
+	for _, ml := range m.members[j] {
+		w += ml.weight
+	}
+	return w
+}
+
+// Apply caps the shard's tagged members so their rates sum to the shard's
+// admitted allocation: allocs[j] bits per second for coupler link j (the
+// shard's row of Coupler.Allocate). Members split each allocation with the
+// same Admit rule the coupler uses across shards; each member then runs at
+// min(own configured rate, member share) until the next swap.
+func (m *Meter) Apply(allocs []int64) {
+	for j, members := range m.members {
+		if len(members) == 0 {
+			continue
+		}
+		demands := make([]int64, len(members))
+		weights := make([]float64, len(members))
+		for i, ml := range members {
+			demands[i] = ml.demandBps
+			weights[i] = ml.weight
+		}
+		shares := Admit(allocs[j], demands, weights)
+		var wsum float64
+		for _, ml := range members {
+			wsum += ml.weight
+		}
+		for i, ml := range members {
+			if f := TrickleFloor(allocs[j], m.c.epoch.Seconds(), ml.weight, wsum); shares[i] < f {
+				shares[i] = f
+			}
+			ml.link.SetConfig(capLink(ml.orig, shares[i]))
+		}
+		if capDebug {
+			fmt.Fprintf(os.Stderr, "CAPDBG apply link=%d alloc=%d demands=%v shares=%v\n", j, allocs[j], demands, shares)
+		}
+	}
+}
+
+// capLink derives a member's epoch configuration: the rate cap via
+// faults.CapRate, plus a queue scaled down in proportion so the member keeps
+// the same *milliseconds* of buffering it was provisioned with. Preserving
+// the byte queue of a 250 ms buffer across a deep rate cap would turn it into
+// seconds of bufferbloat — TCP then oscillates between queue-overflow bursts
+// and retransmission stalls and never fills its admitted rate. A floor of a
+// few full-size segments keeps slow-started flows from starving outright.
+func capLink(orig netem.LinkConfig, bps int64) netem.LinkConfig {
+	cfg := faults.CapRate(orig, bps)
+	if cfg.RateBps < orig.RateBps && orig.RateBps > 0 && orig.QueueBytes > 0 {
+		q := int(float64(orig.QueueBytes) * float64(cfg.RateBps) / float64(orig.RateBps))
+		if min := 16 * 1500; q < min {
+			q = min
+		}
+		if q < orig.QueueBytes {
+			cfg.QueueBytes = q
+		}
+	}
+	return cfg
+}
+
+// Collect reads every member's offered and serialized byte deltas since the
+// previous Collect, refreshes the member demand signals, and returns the
+// per-coupler-link sums (slices owned by the meter, valid until the next
+// call) — the arguments for Coupler.Report.
+func (m *Meter) Collect() (offered, sent []uint64) {
+	epochSec := m.c.epoch.Seconds()
+	for j, members := range m.members {
+		var off, snt uint64
+		for _, ml := range members {
+			st := ml.link.Stats()
+			dOff := st.OfferedBytes - ml.lastOffered
+			dSnt := st.SentBytes - ml.lastSent
+			ml.lastOffered, ml.lastSent = st.OfferedBytes, st.SentBytes
+			ml.demandBps = SmoothDemand(ml.demandBps, int64(float64(dOff)*8/epochSec))
+			off += dOff
+			snt += dSnt
+			if capDebug {
+				fmt.Fprintf(os.Stderr, "CAPDBG collect link=%d off=%d sent=%d queued=%d dropQ=%d cap=%d\n",
+					j, dOff, dSnt, ml.link.QueueBytes(), st.DroppedQueue, ml.link.Config().RateBps)
+			}
+		}
+		m.offered[j], m.sent[j] = off, snt
+	}
+	return m.offered, m.sent
+}

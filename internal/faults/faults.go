@@ -339,10 +339,7 @@ func (in *Injector) schedule(f Fault, p *netem.Path, at time.Duration) {
 			in.Squeezes++
 			in.reconfigure(p, f.Dur, func(cfg netem.LinkConfig) netem.LinkConfig {
 				if cfg.RateBps > 0 {
-					cfg.RateBps = int64(float64(cfg.RateBps) * f.Factor)
-					if cfg.RateBps < 1 {
-						cfg.RateBps = 1
-					}
+					return CapRate(cfg, int64(float64(cfg.RateBps)*f.Factor))
 				}
 				return cfg
 			})
@@ -370,6 +367,22 @@ func (in *Injector) scheduleCycle(f Fault, p *netem.Path, at time.Duration, down
 		in.sim.Schedule(f.Period, cycle)
 	}
 	in.sim.ScheduleAt(at, cycle)
+}
+
+// CapRate is the rate-squeeze transform: it returns cfg with RateBps reduced
+// to bps (floored at 1 bps so the link never becomes infinitely fast), leaving
+// delay, queue size and loss untouched. A zero or unlimited (RateBps == 0)
+// configuration is capped outright. The squeeze fault clause and the
+// capacity layer's epoch-boundary link-config swaps (internal/capacity) share
+// it so both express "less rate, same path" identically.
+func CapRate(cfg netem.LinkConfig, bps int64) netem.LinkConfig {
+	if bps < 1 {
+		bps = 1
+	}
+	if cfg.RateBps == 0 || bps < cfg.RateBps {
+		cfg.RateBps = bps
+	}
+	return cfg
 }
 
 // reconfigure applies a transform to both directional links of a path and

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"mptcpgo/internal/workload"
+)
+
+// BenchmarkFleetSegmentRate measures the fleet engine's event-processing
+// throughput in wire segments per simulated workload: one fleet-openloop run
+// per iteration, reporting segments/sec of wall-clock time. The figure is the
+// engine's capacity currency — every netem link transit is one segment — so
+// regressions here surface scheduler, pool or codec slowdowns before any
+// scenario-level timing does.
+func BenchmarkFleetSegmentRate(b *testing.B) {
+	spec := DefaultOpenLoopSpec(42, 12, 200, 2*time.Second)
+	spec.Shards = 4
+	spec.Sizes = workload.FixedSize(16 << 10)
+	spec.FlowDeadline = 3 * time.Second
+
+	spec = spec.withDefaults()
+	var segments uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := Run(spec.Seed, spec.Hosts, spec.Shards, spec.Workers, func(sh *Shard) (openLoopShardOut, error) {
+			return runOpenLoopShard(&spec, sh)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, out := range outs {
+			segments += out.segments
+		}
+	}
+	b.StopTimer()
+	if segments == 0 {
+		b.Fatal("benchmark workload serialized no segments")
+	}
+	b.ReportMetric(float64(segments)/b.Elapsed().Seconds(), "segments/sec")
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpgo/internal/capacity"
+	"mptcpgo/internal/experiments"
+)
+
+// CoupledScenario is the contract an epoch-coupled scenario implements for
+// RunCoupled. Unlike the run-to-completion fleet scenarios, a coupled shard
+// is built once and then stepped in lock-stepped epoch windows so the
+// capacity layer can exchange demand and admitted rates at every boundary.
+type CoupledScenario[S any, T any] interface {
+	// Setup materializes one shard (graph, servers, workload) without running
+	// it, and returns the shard state plus the shard's capacity meter.
+	Setup(sh *Shard) (S, *capacity.Meter, error)
+	// Done reports whether the shard's workload has fully settled; once every
+	// shard is done the epoch loop stops early.
+	Done(sh *Shard, st S) bool
+	// Collect finalizes one shard after the last epoch and returns its merge
+	// contribution.
+	Collect(sh *Shard, st S) (T, error)
+}
+
+// RunCoupled is the epoch-stepped counterpart of Run: it partitions members
+// into shards exactly like Run, but instead of letting every shard free-run
+// to its deadline it drives all shards through lock-stepped epoch windows of
+// the coupler's length. Per window each shard (on the worker pool) applies
+// its admitted rates, simulates exactly one epoch of virtual time, and
+// reports the bytes its tagged links offered; at the barrier the coupler's
+// deterministic allocator computes the next window's admitted rates.
+//
+// Worker-count invariance is preserved by construction: the barrier orders
+// every Report before the Allocate that reads it, Report writes only
+// shard-indexed slots, and the allocator iterates shards in index order — so
+// the allocation sequence, and therefore every shard's simulation, depends
+// only on (epoch, shard index, offered bytes), never on how shard steps
+// interleave across workers.
+func RunCoupled[S any, T any](root uint64, members, shards, workers int, deadline time.Duration,
+	mkCoupler func(descs []Shard) (*capacity.Coupler, error),
+	scn CoupledScenario[S, T]) ([]T, error) {
+
+	descs, err := MakeShards(root, members, shards)
+	if err != nil {
+		return nil, err
+	}
+	n := len(descs)
+	c, err := mkCoupler(descs)
+	if err != nil {
+		return nil, err
+	}
+	if c.Shards() != n {
+		return nil, fmt.Errorf("fleet: coupler built for %d shards, partition has %d", c.Shards(), n)
+	}
+	if deadline <= 0 {
+		deadline = DefaultDeadline
+	}
+
+	states := make([]S, n)
+	meters := make([]*capacity.Meter, n)
+	if _, err := experiments.SweepWorkers(n, workers, func(i int) (struct{}, error) {
+		st, m, err := scn.Setup(&descs[i])
+		if err != nil {
+			return struct{}{}, err
+		}
+		if m == nil {
+			return struct{}{}, fmt.Errorf("fleet: shard %d setup returned no capacity meter", i)
+		}
+		states[i], meters[i] = st, m
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	epoch := c.Epoch()
+	allocs := c.Initial()
+	for boundary := epoch; ; boundary += epoch {
+		if boundary > deadline {
+			boundary = deadline
+		}
+		end := boundary
+		if _, err := experiments.SweepWorkers(n, workers, func(i int) (struct{}, error) {
+			sh := &descs[i]
+			meters[i].Apply(allocs[sh.Index])
+			if err := sh.Sim.RunUntil(end); err != nil {
+				return struct{}{}, fmt.Errorf("fleet: shard %d: %w", sh.Index, err)
+			}
+			offered, sent := meters[i].Collect()
+			c.Report(sh.Index, offered, sent)
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
+		}
+		// Barrier passed: every shard's Report for this window happened
+		// before this Allocate (worker-pool join), so the allocation is a
+		// pure function of the ledger.
+		allocs = c.Allocate()
+		if boundary >= deadline {
+			break
+		}
+		settled := true
+		for i := range descs {
+			if !scn.Done(&descs[i], states[i]) {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+	}
+
+	return experiments.SweepWorkers(n, workers, func(i int) (T, error) {
+		return scn.Collect(&descs[i], states[i])
+	})
+}

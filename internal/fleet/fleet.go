@@ -82,6 +82,20 @@ func (sh *Shard) Materialize(spec netem.GraphSpec) error {
 // Manager returns the MPTCP stack of the named shard host, or nil.
 func (sh *Shard) Manager(host string) *core.Manager { return sh.Managers[host] }
 
+// SegmentsSent totals the wire segments serialized by every directional link
+// of the shard's network — the per-shard numerator of the fleet-wide
+// segments-per-second rate that BenchmarkFleetSegmentRate reports.
+func (sh *Shard) SegmentsSent() uint64 {
+	if sh.Net == nil {
+		return 0
+	}
+	var n uint64
+	for _, p := range sh.Net.Paths {
+		n += p.LinkAB().Stats().SentPackets + p.LinkBA().Stats().SentPackets
+	}
+	return n
+}
+
 // StepUntil steps the shard's simulator until done reports true, the event
 // queue drains, or the simulated deadline passes — whichever comes first.
 // Scenario shard functions use it with a completion counter so a shard stops

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mptcpgo/internal/capacity"
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/httpsim"
@@ -58,6 +59,13 @@ type HTTPSpec struct {
 	// <PcapDir>/fleet-http-shard<NNN>.pcap (classic pcap, raw IPv4).
 	// Capture never changes the merged result.
 	PcapDir string
+	// Shared, when non-nil, couples every client's download direction to the
+	// named shared bottleneck: the shards run in lock-stepped epoch windows
+	// and jointly respect its rate. Nil keeps the shards free-running.
+	Shared *capacity.SharedLink
+	// Weight gives client i's allocation weight on the shared bottleneck
+	// (nil = equal weights); ignored when Shared is nil.
+	Weight func(i int) float64
 }
 
 // DefaultAccessLink derives the deterministic heterogeneous access link used
@@ -111,6 +119,16 @@ func (s HTTPSpec) withDefaults() HTTPSpec {
 			c.TransferSize = 64 << 10
 		}
 	}
+	if s.Shared != nil {
+		shared := *s.Shared
+		if shared.Name == "" {
+			shared.Name = capacity.DefaultName
+		}
+		if shared.Epoch == 0 {
+			shared.Epoch = capacity.DefaultEpoch
+		}
+		s.Shared = &shared
+	}
 	return s
 }
 
@@ -130,9 +148,30 @@ func clientHostName(i int) string { return fmt.Sprintf("c%05d", i) }
 // (seed, clients, shards).
 func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	spec = spec.withDefaults()
-	outs, err := Run(spec.Seed, len(spec.Clients), spec.Shards, spec.Workers, func(sh *Shard) (httpShardOut, error) {
-		return runHTTPShard(&spec, sh)
-	})
+	var outs []httpShardOut
+	var coupler *capacity.Coupler
+	var err error
+	if spec.Shared != nil {
+		if err := spec.Shared.Validate(); err != nil {
+			return nil, err
+		}
+		scn := &httpCoupledScenario{spec: &spec}
+		outs, err = RunCoupled[*httpState, httpShardOut](
+			spec.Seed, len(spec.Clients), spec.Shards, spec.Workers, spec.Deadline,
+			func(descs []Shard) (*capacity.Coupler, error) {
+				c, err := capacity.NewCoupler([]capacity.SharedLink{*spec.Shared}, memberWeights(descs, spec.Weight))
+				if err != nil {
+					return nil, err
+				}
+				coupler = c
+				scn.c = c
+				return c, nil
+			}, scn)
+	} else {
+		outs, err = Run(spec.Seed, len(spec.Clients), spec.Shards, spec.Workers, func(sh *Shard) (httpShardOut, error) {
+			return runHTTPShard(&spec, sh)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +179,10 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	title := spec.Label
 	if title == "" {
 		title = "sharded closed-loop HTTP server workload"
+		if spec.Shared != nil {
+			title = fmt.Sprintf("sharded closed-loop HTTP through shared %s (%s)",
+				spec.Shared.Name, capacity.FormatRate(spec.Shared.RateBps))
+		}
 	}
 	res := &experiments.Result{ID: "fleet-http", Title: title, Seed: spec.Seed, Quick: spec.Quick}
 
@@ -169,12 +212,29 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	res.AddTable(table)
 	res.AddSeries(ShardSeries("req/s", "req/s", rps))
 	res.AddSeries(ShardSeries("latency p95", "ms", p95))
+	if coupler != nil {
+		addCapacityReport(res, coupler)
+	}
 	return res, nil
 }
 
-// runHTTPShard builds and runs one shard: a server replica plus the shard's
-// client hosts, one single-client closed-loop pool per client host.
-func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
+// httpState is one shard's live closed-loop workload between the build and
+// collect halves of a run.
+type httpState struct {
+	graph        netem.GraphSpec
+	pools        []*httpsim.ClientPool
+	remaining    int
+	closeCapture func() error
+}
+
+func (st *httpState) done() bool { return st.remaining == 0 }
+
+// buildHTTPShard materializes one shard without running it: a server replica
+// plus the shard's client hosts, one single-client closed-loop pool per
+// client host. tag, when non-nil, edits each client's link spec (by global
+// client index) before the graph is built — the hook the coupled runner uses
+// to mark shared directions.
+func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpec)) (*httpState, error) {
 	g := netem.GraphSpec{}
 	g.AddHost("server")
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
@@ -183,23 +243,25 @@ func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
 		if name == "" {
 			name = fmt.Sprintf("access%d", gi)
 		}
-		g.AddLink(netem.LinkSpec{Name: name, A: clientHostName(gi), B: "server", Config: c.Link})
+		l := netem.LinkSpec{Name: name, A: clientHostName(gi), B: "server", Config: c.Link}
+		if tag != nil {
+			tag(gi, &l)
+		}
+		g.AddLink(l)
 	}
 	if err := sh.Materialize(g); err != nil {
-		return httpShardOut{}, err
+		return nil, err
 	}
 	closeCapture, err := sh.StartCapture(spec.PcapDir, "fleet-http")
 	if err != nil {
-		return httpShardOut{}, err
+		return nil, err
 	}
-	defer closeCapture()
+	st := &httpState{graph: g, remaining: sh.Members(), closeCapture: closeCapture}
 
 	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
-		return httpShardOut{}, err
+		return nil, err
 	}
 
-	remaining := sh.Members()
-	pools := make([]*httpsim.ClientPool, 0, sh.Members())
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
 		c := &spec.Clients[gi]
 		mgr := sh.Manager(clientHostName(gi))
@@ -212,25 +274,72 @@ func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
 			ServerPort:    80,
 			Conn:          c.Conn,
 			Iface:         iface,
-			OnDone:        func() { remaining-- },
+			OnDone:        func() { st.remaining-- },
 		})
 		if err != nil {
-			return httpShardOut{}, fmt.Errorf("fleet: shard %d client %d: %w", sh.Index, gi, err)
+			return nil, fmt.Errorf("fleet: shard %d client %d: %w", sh.Index, gi, err)
 		}
-		pools = append(pools, pool)
+		st.pools = append(st.pools, pool)
 		// Stagger starts by global index so the fleet-wide handshake herd is
 		// spread out the same way regardless of the partition.
 		sh.Sim.Schedule(time.Duration(gi%97)*127*time.Microsecond, pool.Start)
 	}
+	return st, nil
+}
 
-	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
-
+// collect finalizes one shard and returns its merge contribution.
+func (st *httpState) collect(sh *Shard) (httpShardOut, error) {
 	out := httpShardOut{clients: sh.Members(), events: sh.Sim.Processed}
-	for _, p := range pools {
+	for _, p := range st.pools {
 		out.merge.Add(p.Result(), p.LatencySamples())
 	}
-	if err := closeCapture(); err != nil {
+	if err := st.closeCapture(); err != nil {
 		return httpShardOut{}, err
 	}
 	return out, nil
+}
+
+// runHTTPShard builds and free-runs one shard to completion or deadline.
+func runHTTPShard(spec *HTTPSpec, sh *Shard) (httpShardOut, error) {
+	st, err := buildHTTPShard(spec, sh, nil)
+	if err != nil {
+		return httpShardOut{}, err
+	}
+	sh.StepUntil(spec.Deadline, st.done)
+	return st.collect(sh)
+}
+
+// httpCoupledScenario adapts the closed-loop workload to the epoch-coupled
+// runner: the same graphs and pools, but every client's download direction is
+// tagged with the shared bottleneck and the shards step in epoch windows.
+type httpCoupledScenario struct {
+	spec *HTTPSpec
+	c    *capacity.Coupler
+}
+
+func (cs *httpCoupledScenario) Setup(sh *Shard) (*httpState, *capacity.Meter, error) {
+	// Responses flow server (B) to client (A); that direction transits the
+	// shared bottleneck.
+	st, err := buildHTTPShard(cs.spec, sh, func(gi int, l *netem.LinkSpec) {
+		l.SharedBA = cs.spec.Shared.Name
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var weightOf func(i int) float64
+	if cs.spec.Weight != nil {
+		lo := sh.Lo
+		weightOf = func(i int) float64 { return cs.spec.Weight(lo + i) }
+	}
+	m, err := capacity.NewMeter(cs.c, sh.Net, st.graph, weightOf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: shard %d: %w", sh.Index, err)
+	}
+	return st, m, nil
+}
+
+func (cs *httpCoupledScenario) Done(_ *Shard, st *httpState) bool { return st.done() }
+
+func (cs *httpCoupledScenario) Collect(sh *Shard, st *httpState) (httpShardOut, error) {
+	return st.collect(sh)
 }

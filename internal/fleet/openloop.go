@@ -195,6 +195,11 @@ type openLoopShardOut struct {
 	hosts  int
 	merge  openLoopMerge
 	events uint64
+	// segments counts the wire segments every link of the shard serialized —
+	// the numerator of the BenchmarkFleetSegmentRate headline metric. It is
+	// accounted but deliberately kept out of the rendered tables so the
+	// merged output stays byte-identical to earlier releases.
+	segments uint64
 }
 
 // RunOpenLoop executes the fleet-openloop scenario and returns the merged
@@ -253,9 +258,26 @@ func RunOpenLoop(spec OpenLoopSpec) (*experiments.Result, error) {
 	return res, nil
 }
 
-// runOpenLoopShard builds one shard: a server replica plus the shard's client
-// hosts, one open-loop pool per host drawing from its thinned arrival stream.
-func runOpenLoopShard(spec *OpenLoopSpec, sh *Shard) (openLoopShardOut, error) {
+// openLoopState is one shard's live open-loop workload: the spec the shard
+// was built from (tags and all), its pools and its settlement counter. The
+// free-running fleet-openloop scenario and the epoch-coupled fleet-corelink
+// scenario share it — only how the simulator is advanced differs.
+type openLoopState struct {
+	graph        netem.GraphSpec
+	pools        []*httpsim.OpenLoopPool
+	remaining    int
+	closeCapture func() error
+}
+
+// done reports whether every one of the shard's flows has settled.
+func (st *openLoopState) done() bool { return st.remaining == 0 }
+
+// buildOpenLoopShard materializes one shard — a server replica plus the
+// shard's client hosts, one open-loop pool per host drawing from its thinned
+// arrival stream — without running it. tag, when non-nil, may edit each
+// access link's spec before it is added (the corelink scenario uses it to
+// mark shared-bottleneck membership).
+func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func(gi int, l *netem.LinkSpec)) (*openLoopState, error) {
 	g := netem.GraphSpec{}
 	g.AddHost("server")
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
@@ -263,26 +285,28 @@ func runOpenLoopShard(spec *OpenLoopSpec, sh *Shard) (openLoopShardOut, error) {
 		if spec.Link != nil {
 			link = spec.Link(gi)
 		}
-		g.AddLink(netem.LinkSpec{
+		ls := netem.LinkSpec{
 			Name: fmt.Sprintf("access%d", gi),
 			A:    clientHostName(gi), B: "server", Config: link,
-		})
+		}
+		if tag != nil {
+			tag(gi, &ls)
+		}
+		g.AddLink(ls)
 	}
 	if err := sh.Materialize(g); err != nil {
-		return openLoopShardOut{}, err
+		return nil, err
 	}
-	closeCapture, err := sh.StartCapture(spec.PcapDir, "fleet-openloop")
+	closeCapture, err := sh.StartCapture(spec.PcapDir, scenario)
 	if err != nil {
-		return openLoopShardOut{}, err
+		return nil, err
 	}
-	defer closeCapture()
+	st := &openLoopState{graph: g, remaining: sh.Members(), closeCapture: closeCapture}
 
 	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
-		return openLoopShardOut{}, err
+		return nil, err
 	}
 
-	remaining := sh.Members()
-	pools := make([]*httpsim.OpenLoopPool, 0, sh.Members())
 	fraction := 1 / float64(spec.Hosts)
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
 		mgr := sh.Manager(clientHostName(gi))
@@ -298,25 +322,39 @@ func runOpenLoopShard(spec *OpenLoopSpec, sh *Shard) (openLoopShardOut, error) {
 			ServerPort:   80,
 			Conn:         *spec.Conn,
 			Iface:        iface,
-			OnDone:       func() { remaining-- },
+			OnDone:       func() { st.remaining-- },
 		})
 		if err != nil {
-			return openLoopShardOut{}, fmt.Errorf("fleet: shard %d host %d: %w", sh.Index, gi, err)
+			return nil, fmt.Errorf("fleet: shard %d host %d: %w", sh.Index, gi, err)
 		}
-		pools = append(pools, pool)
+		st.pools = append(st.pools, pool)
 		// All pools start at t=0: the arrival processes themselves spread the
 		// load (their first gaps differ per host stream).
 		sh.Sim.Schedule(0, pool.Start)
 	}
+	return st, nil
+}
 
-	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
-
-	out := openLoopShardOut{hosts: sh.Members(), events: sh.Sim.Processed}
-	for _, p := range pools {
+// collect finalizes the shard after its last step: fold the pool results in
+// host order, count serialized segments and close the capture.
+func (st *openLoopState) collect(sh *Shard) (openLoopShardOut, error) {
+	out := openLoopShardOut{hosts: sh.Members(), events: sh.Sim.Processed, segments: sh.SegmentsSent()}
+	for _, p := range st.pools {
 		out.merge.add(p.Result(), p.LatencySamples())
 	}
-	if err := closeCapture(); err != nil {
+	if err := st.closeCapture(); err != nil {
 		return openLoopShardOut{}, err
 	}
 	return out, nil
+}
+
+// runOpenLoopShard builds and free-runs one shard to settlement or deadline.
+func runOpenLoopShard(spec *OpenLoopSpec, sh *Shard) (openLoopShardOut, error) {
+	st, err := buildOpenLoopShard(spec, sh, "fleet-openloop", nil)
+	if err != nil {
+		return openLoopShardOut{}, err
+	}
+	defer st.closeCapture()
+	sh.StepUntil(spec.Deadline, st.done)
+	return st.collect(sh)
 }

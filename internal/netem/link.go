@@ -41,6 +41,12 @@ type LinkStats struct {
 	DroppedRandom  uint64
 	DeliveredBytes uint64
 	MaxQueueBytes  int
+	// OfferedBytes counts the wire bytes of every segment presented to the
+	// link, including segments later dropped by loss or queue overflow. The
+	// capacity layer reads it as the demand signal for a shared bottleneck:
+	// under a rate cap, arrivals (retransmissions, window growth into a full
+	// queue) exceed departures, so offered > sent reveals unmet demand.
+	OfferedBytes uint64
 }
 
 // Receiver consumes segments at the far end of a link.
@@ -121,6 +127,7 @@ func (l *Link) Send(seg *packet.Segment) {
 		return
 	}
 	size := wireSize(seg)
+	l.stats.OfferedBytes += uint64(size)
 
 	if l.cfg.LossRate > 0 && l.sim.RNG().Float64() < l.cfg.LossRate {
 		l.stats.DroppedRandom++

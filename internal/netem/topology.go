@@ -53,6 +53,14 @@ type LinkSpec struct {
 	// Boxes is the middlebox chain installed on the path (applied in order
 	// for A-to-B traffic).
 	Boxes []Box
+	// SharedAB and SharedBA name the shared capacity resource each direction
+	// transits (empty = dedicated capacity). A link tagged with a shared
+	// resource keeps its own rate as a ceiling, but the capacity layer
+	// (internal/capacity) may cap the direction further so that all tagged
+	// directions — across every shard of a fleet run — jointly respect the
+	// named resource's rate. The tag is pure metadata to netem; BuildGraph
+	// ignores it.
+	SharedAB, SharedBA string
 }
 
 // GraphSpec declares a multi-host topology: named hosts connected by
