@@ -10,6 +10,7 @@ import (
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/pool"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 )
 
@@ -142,20 +143,20 @@ func TestChecksumMatchesReference(t *testing.T) {
 	}
 }
 
-// TestSendPathSteadyStateAllocs guards the chunk + DSS recycling on the
-// full MPTCP send path: once a connection reaches steady state, a
-// write→deliver→read cycle must not allocate per segment. Every moving part
-// is recycled — chunk structs and their DSS options (per-endpoint free
-// lists), outgoing segments and payload buffers (pools), outgoing options
-// (per-segment arenas), events (simulator free list) — so the average
-// allocation count per cycle is pinned near zero. The small budget absorbs
-// sync.Pool refills after GC cycles; before chunk/DSS recycling this cycle
-// cost dozens of allocations.
-func TestSendPathSteadyStateAllocs(t *testing.T) {
+// sendPathCycleAllocs measures the steady-state allocation cost of one
+// write→deliver→read cycle over a symmetric 100 Mbps path. When traced is
+// true a flight recorder is attached to the client stack first (events only —
+// no sampler — so the cycle exercises the Emit/Count hot path, not the
+// time-series machinery).
+func sendPathCycleAllocs(t *testing.T, traced bool) float64 {
+	t.Helper()
 	s := sim.New(7)
 	net := netem.Build(s, netem.Symmetric("p", netem.Mbps(100), time.Millisecond, 0, 0))
 	cliMgr := core.NewManager(net.Client)
 	srvMgr := core.NewManager(net.Server)
+	if traced {
+		cliMgr.SetProbe(probe.NewRecorder(s, 0, 1, probe.Config{}), 0)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.SendBufBytes = 256 << 10
@@ -200,9 +201,37 @@ func TestSendPathSteadyStateAllocs(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		cycle() // reach steady state: free lists, pools and queues warm
 	}
-	avg := testing.AllocsPerRun(400, cycle)
+	return testing.AllocsPerRun(400, cycle)
+}
+
+// TestSendPathSteadyStateAllocs guards the chunk + DSS recycling on the
+// full MPTCP send path: once a connection reaches steady state, a
+// write→deliver→read cycle must not allocate per segment. Every moving part
+// is recycled — chunk structs and their DSS options (per-endpoint free
+// lists), outgoing segments and payload buffers (pools), outgoing options
+// (per-segment arenas), events (simulator free list) — so the average
+// allocation count per cycle is pinned near zero. The small budget absorbs
+// sync.Pool refills after GC cycles; before chunk/DSS recycling this cycle
+// cost dozens of allocations.
+//
+// With no probe attached, every flight-recorder hook reduces to one
+// nil-receiver (or nil-config) branch, so tracing-disabled stays under the
+// same budget it had before the instrumentation existed.
+func TestSendPathSteadyStateAllocs(t *testing.T) {
+	avg := sendPathCycleAllocs(t, false)
 	if avg >= 4 {
 		t.Fatalf("steady-state send cycle allocates %.2f allocs/op; want < 4", avg)
+	}
+}
+
+// TestSendPathTracedSteadyStateAllocs pins the flight recorder's enabled-path
+// budget: with a recorder attached, every emission lands in a preallocated
+// per-member ring and counter set, so the traced steady-state cycle must meet
+// the same < 4 allocs/op budget as the untraced one.
+func TestSendPathTracedSteadyStateAllocs(t *testing.T) {
+	avg := sendPathCycleAllocs(t, true)
+	if avg >= 4 {
+		t.Fatalf("traced steady-state send cycle allocates %.2f allocs/op; want < 4 (recorder storage is preallocated)", avg)
 	}
 }
 

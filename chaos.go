@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/faults"
 	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/middlebox"
@@ -88,6 +89,15 @@ func (c *Chaos) Workers(n int) *Chaos { c.spec.Workers = n; return c }
 
 // PcapDir captures each shard's wire traffic into the directory.
 func (c *Chaos) PcapDir(dir string) *Chaos { c.spec.PcapDir = dir; return c }
+
+// Trace attaches the flight recorder: typed protocol events (and, when
+// probeInterval > 0, per-subflow time series at that sim-time cadence) are
+// written as fleet-chaos-trace.json and fleet-chaos-events.jsonl into dir.
+// Capture never changes the scenario's results.
+func (c *Chaos) Trace(dir string, probeInterval time.Duration) *Chaos {
+	c.spec.Trace = experiments.TraceSpec{Dir: dir, ProbeInterval: probeInterval}
+	return c
+}
 
 // Label overrides the result title.
 func (c *Chaos) Label(s string) *Chaos { c.spec.Label = s; return c }

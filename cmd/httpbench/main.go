@@ -26,6 +26,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "RNG seed")
 	sweep := flag.Bool("sweep", false, "run the full Figure 11 sweep instead of a single point")
 	quick := flag.Bool("quick", false, "smaller sweep (with -sweep)")
+	traceDir := flag.String("trace-dir", "", "flight recorder: write httpbench-trace.json and httpbench-events.jsonl into this directory (single-point runs only; capture never changes results)")
+	probeInterval := flag.Duration("probe-interval", 0, "flight recorder: per-subflow sampling cadence in simulated time (0 = events only; needs -trace-dir)")
 	format := flag.String("format", "text", "output format: text | json | csv")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
@@ -39,13 +41,17 @@ func main() {
 	var res *experiments.Result
 	var err error
 	if *sweep {
+		if *traceDir != "" {
+			fail(fmt.Errorf("-trace-dir applies to single-point runs only, not -sweep"))
+		}
 		opts := []experiments.Option{experiments.WithSeed(*seed)}
 		if *quick {
 			opts = append(opts, experiments.WithQuick())
 		}
 		res, err = experiments.Run("fig11", opts...)
 	} else {
-		res, err = runPoint(*seed, *mode, *size, *clients, *requests)
+		tspec := experiments.TraceSpec{Dir: *traceDir, ProbeInterval: *probeInterval}
+		res, err = runPoint(*seed, *mode, *size, *clients, *requests, tspec)
 	}
 	if err != nil {
 		fail(err)
@@ -68,9 +74,9 @@ func main() {
 // runPoint runs one (mode, size) combination and wraps the pool summary as a
 // structured Result so every output format of the sweep path works for single
 // points too.
-func runPoint(seed uint64, mode string, size, clients, requests int) (*experiments.Result, error) {
+func runPoint(seed uint64, mode string, size, clients, requests int, tspec experiments.TraceSpec) (*experiments.Result, error) {
 	start := time.Now()
-	pr, err := experiments.RunFig11Point(seed, mode, size, clients, requests)
+	pr, err := experiments.RunFig11PointTraced(seed, mode, size, clients, requests, tspec)
 	if err != nil {
 		return nil, err
 	}

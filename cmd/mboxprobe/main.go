@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mptcpgo/internal/experiments"
 )
@@ -16,6 +17,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter transfers")
 	seed := flag.Uint64("seed", 42, "base RNG seed")
 	pcapDir := flag.String("pcap-dir", "", "capture each matrix case's wire traffic into this directory (classic pcap, one file per case)")
+	traceDir := flag.String("trace-dir", "", "flight recorder: write mbox-NN-trace.json and mbox-NN-events.jsonl per matrix case into this directory (capture never changes results)")
+	probeInterval := flag.Duration("probe-interval", 0, "flight recorder: per-subflow sampling cadence in simulated time (0 = events only; needs -trace-dir)")
 	flag.Parse()
 
 	opts := []experiments.Option{experiments.WithSeed(*seed)}
@@ -24,6 +27,9 @@ func main() {
 	}
 	if *pcapDir != "" {
 		opts = append(opts, experiments.WithPcapDir(*pcapDir))
+	}
+	if *traceDir != "" {
+		opts = append(opts, experiments.WithTrace(*traceDir, time.Duration(*probeInterval)))
 	}
 	res, err := experiments.Run("mbox", opts...)
 	if err == nil {

@@ -56,6 +56,8 @@ func main() {
 	shards := flag.Int("shards", 0, "fleet shard count (0 = one shard per 64 members)")
 	workers := flag.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS; never changes the output)")
 	pcapDir := flag.String("pcap-dir", "", "capture wire traffic into this directory: one classic pcap per fleet shard (-scenario) or per middlebox-matrix case (-run mbox); capture never changes results")
+	traceDir := flag.String("trace-dir", "", "flight recorder: write <scenario>-trace.json and <scenario>-events.jsonl into this directory (off by default; capture never changes results)")
+	probeInterval := flag.Duration("probe-interval", 0, "flight recorder: per-subflow time-series sampling cadence in simulated time (0 = events only; needs -trace-dir)")
 	rate := flag.Float64("rate", 0, "fleet-openloop: fleet-wide mean arrival rate in flows/s (0 = scenario default)")
 	duration := flag.Duration("duration", 0, "fleet-openloop: arrival window of simulated time (0 = scenario default)")
 	sizeDist := flag.String("sizedist", "webmix", "fleet-openloop: flow-size distribution: fixed:<bytes> | lognormal:<mu>,<sigma> | pareto:<alpha>,<lo>,<hi> | webmix")
@@ -88,7 +90,8 @@ func main() {
 		o := scenarioOptions{
 			seed: *seed, members: *clients, shards: *shards, workers: *workers,
 			quick: *quick, pcapDir: *pcapDir,
-			rate: *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
+			trace: experiments.TraceSpec{Dir: *traceDir, ProbeInterval: *probeInterval},
+			rate:  *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
 			faults: *faultSpec, adversary: *adversary,
 		}
 		if *sharedLink != "" {
@@ -132,6 +135,9 @@ func main() {
 	if *pcapDir != "" {
 		opts = append(opts, experiments.WithPcapDir(*pcapDir))
 	}
+	if *traceDir != "" {
+		opts = append(opts, experiments.WithTrace(*traceDir, *probeInterval))
+	}
 
 	ids := []string{*run}
 	if strings.EqualFold(*run, "all") {
@@ -155,6 +161,7 @@ type scenarioOptions struct {
 	shards, workers int
 	quick           bool
 	pcapDir         string
+	trace           experiments.TraceSpec
 
 	// open-loop scenarios (fleet-openloop, fleet-corelink) only.
 	rate     float64
@@ -189,6 +196,7 @@ var scenarios = []scenarioDef{
 	{"incast", "synchronized many-to-one fan-in over the N-host graph", runIncastScenario},
 	{"mixed", "MPTCP foreground vs plain-TCP background traffic", runMixedScenario},
 	{"fleet-chaos", "integrity-checked uploads under fault schedules (-faults) and adversarial middleboxes (-adversary)", runChaosScenario},
+	{"trace-overhead", "flight-recorder cost probe: one open-loop run traced and one untraced, results proven identical", runTraceOverheadScenario},
 }
 
 // listScenarios prints the scenario registry, one line per scenario.
@@ -227,6 +235,7 @@ func runHTTPScenario(o scenarioOptions) (*experiments.Result, error) {
 	spec := fleet.DefaultHTTPSpec(o.seed, n, requests, size)
 	spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = o.shards, o.workers, o.quick, o.pcapDir
 	spec.Shared = o.shared
+	spec.Trace = o.trace
 	return fleet.RunHTTP(spec)
 }
 
@@ -257,6 +266,7 @@ func openLoopSpecFrom(o scenarioOptions) (fleet.OpenLoopSpec, error) {
 	return fleet.OpenLoopSpec{
 		Seed: o.seed, Hosts: hosts, Arrival: arrival, Sizes: sizes, Window: window,
 		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+		Trace: o.trace,
 	}, nil
 }
 
@@ -287,6 +297,9 @@ func runCorelinkScenario(o scenarioOptions) (*experiments.Result, error) {
 }
 
 func runCDNScenario(o scenarioOptions) (*experiments.Result, error) {
+	if o.trace.Enabled() {
+		return nil, fmt.Errorf("fleet-cdn does not support -trace-dir (flight recording covers fleet-http, fleet-openloop, fleet-corelink and fleet-chaos)")
+	}
 	n, size := 256, 1<<20
 	if o.quick {
 		n, size = 32, 256<<10
@@ -308,6 +321,9 @@ func runCDNScenario(o scenarioOptions) (*experiments.Result, error) {
 }
 
 func runIncastScenario(o scenarioOptions) (*experiments.Result, error) {
+	if o.trace.Enabled() {
+		return nil, fmt.Errorf("incast does not support -trace-dir (flight recording covers fleet-http, fleet-openloop, fleet-corelink and fleet-chaos)")
+	}
 	n, block := 256, 256<<10
 	if o.quick {
 		n, block = 32, 128<<10
@@ -322,6 +338,9 @@ func runIncastScenario(o scenarioOptions) (*experiments.Result, error) {
 }
 
 func runMixedScenario(o scenarioOptions) (*experiments.Result, error) {
+	if o.trace.Enabled() {
+		return nil, fmt.Errorf("mixed does not support -trace-dir (flight recording covers fleet-http, fleet-openloop, fleet-corelink and fleet-chaos)")
+	}
 	n, dur := 32, 5*time.Second
 	if o.quick {
 		n, dur = 8, 2*time.Second
@@ -350,6 +369,7 @@ func runChaosScenario(o scenarioOptions) (*experiments.Result, error) {
 	return fleet.RunChaos(fleet.ChaosSpec{
 		Seed: o.seed, Members: n, Faults: spec, Adversary: o.adversary,
 		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
+		Trace: o.trace,
 	})
 }
 

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mptcpgo/internal/experiments"
+	"mptcpgo/internal/fleet"
+	"mptcpgo/internal/probe"
+	"mptcpgo/internal/workload"
+)
+
+// runTraceOverheadScenario runs the same open-loop workload twice — flight
+// recorder off, then on — and reports the deterministic cost profile: scenario
+// counters (which must be byte-identical), the event/sample volume the
+// recorder retained, and the two runs' wall-clock ratio (stderr only, so the
+// encoded result stays byte-comparable across machines). CI commits its quick
+// JSON as bench/BENCH_trace.json under the freshness gate.
+func runTraceOverheadScenario(o scenarioOptions) (*experiments.Result, error) {
+	hosts, rate, window := 64, 150.0, 2*time.Second
+	if o.quick {
+		hosts, rate, window = 16, 80.0, 1*time.Second
+	}
+	if o.members > 0 {
+		hosts = o.members
+	}
+	if o.rate > 0 {
+		rate = o.rate
+	}
+	if o.window > 0 {
+		window = o.window
+	}
+	base := fleet.DefaultOpenLoopSpec(o.seed, hosts, rate, window)
+	base.Sizes = workload.FixedSize(16 << 10)
+	base.Shards, base.Workers, base.Quick = o.shards, o.workers, o.quick
+
+	startOff := time.Now()
+	off, err := fleet.RunOpenLoop(base)
+	if err != nil {
+		return nil, err
+	}
+	wallOff := time.Since(startOff)
+
+	// The traced run needs a directory; an ephemeral one keeps the scenario
+	// self-contained unless the caller asked for the files via -trace-dir.
+	dir := o.trace.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "trace-overhead")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	interval := o.trace.ProbeInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	traced := base
+	traced.Trace = experiments.TraceSpec{Dir: dir, ProbeInterval: interval}
+	startOn := time.Now()
+	on, err := fleet.RunOpenLoop(traced)
+	if err != nil {
+		return nil, err
+	}
+	wallOn := time.Since(startOn)
+
+	offJSON, _ := json.Marshal(off)
+	onJSON, _ := json.Marshal(on)
+	identical := bytes.Equal(offJSON, onJSON)
+
+	events, err := probe.ParseJSONL(mustRead(filepath.Join(dir, "fleet-openloop-events.jsonl")))
+	if err != nil {
+		return nil, fmt.Errorf("trace-overhead: %w", err)
+	}
+	kinds := probe.CountKinds(events)
+	var flowDone uint64
+	if int(probe.KindFlowDone) < len(kinds) {
+		flowDone = kinds[probe.KindFlowDone]
+	}
+
+	allRow := off.Tables[0].Rows[len(off.Tables[0].Rows)-1]
+	res := &experiments.Result{
+		ID:    "trace-overhead",
+		Title: fmt.Sprintf("flight-recorder overhead: %d hosts, %.0f flows/s, %v window, %v sampling", hosts, rate, window, interval),
+		Seed:  o.seed, Quick: o.quick,
+	}
+	table := experiments.NewTable("traced vs untraced open-loop run (scenario output must not change)",
+		"metric", "value")
+	table.AddRow("results identical", fmt.Sprintf("%v", identical))
+	table.AddRow("offered flows", allRow[2])
+	table.AddRow("completed flows", allRow[3])
+	table.AddRow("trace events", fmt.Sprintf("%d", len(events)))
+	table.AddRow("flow_done events", fmt.Sprintf("%d", flowDone))
+	table.AddNote("the flight recorder must be invisible: the traced run's merged result is byte-compared against the untraced run's")
+	if !identical {
+		table.AddNote("TRACE PERTURBATION: the traced run produced a different merged result")
+	}
+	res.AddTable(table)
+	fmt.Fprintf(os.Stderr, "trace-overhead: untraced %v, traced %v wall-clock\n",
+		wallOff.Round(time.Millisecond), wallOn.Round(time.Millisecond))
+	return res, nil
+}
+
+func mustRead(path string) []byte {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return b
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mptcpgo/internal/capacity"
+	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/workload"
@@ -61,6 +62,7 @@ type Fleet struct {
 	label    string
 	server   *Config
 	shared   *sharedBottleneck
+	trace    experiments.TraceSpec
 	err      error
 }
 
@@ -99,6 +101,15 @@ func (f *Fleet) Label(s string) *Fleet { f.label = s; return f }
 // ServerConfig overrides the listener configuration of every server replica.
 func (f *Fleet) ServerConfig(cfg Config) *Fleet { f.server = &cfg; return f }
 
+// Trace attaches the flight recorder: typed protocol events (and, when
+// probeInterval > 0, per-subflow time series at that sim-time cadence) are
+// written as fleet-http-trace.json and fleet-http-events.jsonl into dir.
+// Capture never changes the scenario's results.
+func (f *Fleet) Trace(dir string, probeInterval time.Duration) *Fleet {
+	f.trace = experiments.TraceSpec{Dir: dir, ProbeInterval: probeInterval}
+	return f
+}
+
 // SharedBottleneck couples every client's download direction to one named
 // fleet-global resource of the given rate: the shards run in lock-stepped
 // epoch windows and a deterministic max-min allocator divides the rate among
@@ -136,6 +147,7 @@ func (f *Fleet) Run() (*Result, error) {
 		Deadline: f.deadline,
 		Label:    f.label,
 		Server:   f.server,
+		Trace:    f.trace,
 	}
 	if f.shared != nil {
 		l := f.shared.link()
@@ -258,6 +270,16 @@ func (o *OpenLoop) Workers(n int) *OpenLoop { o.spec.Workers = n; return o }
 
 // Label overrides the result title.
 func (o *OpenLoop) Label(s string) *OpenLoop { o.spec.Label = s; return o }
+
+// Trace attaches the flight recorder: typed protocol events (and, when
+// probeInterval > 0, per-subflow time series at that sim-time cadence) are
+// written as fleet-openloop-trace.json and fleet-openloop-events.jsonl
+// (fleet-corelink-* with a SharedBottleneck) into dir. Capture never changes
+// the scenario's results.
+func (o *OpenLoop) Trace(dir string, probeInterval time.Duration) *OpenLoop {
+	o.spec.Trace = experiments.TraceSpec{Dir: dir, ProbeInterval: probeInterval}
+	return o
+}
 
 // SharedBottleneck couples every arrival host's download direction to one
 // named fleet-global resource of the given rate (the fleet-corelink

@@ -39,6 +39,11 @@ type EpochRecord struct {
 // allocation for epoch k is a pure function of (k, shard weights, offered
 // bytes), never of worker interleaving.
 type Coupler struct {
+	// OnEpoch, when non-nil, is invoked from Allocate (single-goroutine, at
+	// the epoch barrier) with each completed window's record, in (epoch,
+	// link) order. The fleet engine uses it to feed the flight recorder.
+	OnEpoch func(EpochRecord)
+
 	links []SharedLink
 	epoch time.Duration
 	// weights[shard] is the shard's allocation weight on every link — the sum
@@ -193,6 +198,9 @@ func (c *Coupler) Allocate() [][]int64 {
 			}
 		}
 		c.trace = append(c.trace, rec)
+		if c.OnEpoch != nil {
+			c.OnEpoch(rec)
+		}
 		for s := range final {
 			out[s][j] = final[s]
 		}

@@ -54,6 +54,12 @@ func (g *CoupledGroup) TotalCwnd() int {
 	return total
 }
 
+// Alpha returns the group's current LIA aggressiveness parameter, for
+// observability probes. It is recomputed on demand from live subflow state
+// (the same computation every coupled increase uses), so sampling it never
+// perturbs the controllers.
+func (g *CoupledGroup) Alpha() float64 { return g.alpha() }
+
 // alpha computes the LIA aggressiveness parameter.
 func (g *CoupledGroup) alpha() float64 {
 	total := float64(g.TotalCwnd())
@@ -103,6 +109,10 @@ func (c *Coupled) Ssthresh() int { return c.ssthresh }
 
 // InSlowStart implements Controller.
 func (c *Coupled) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// Alpha returns the coupling group's current LIA alpha (see
+// CoupledGroup.Alpha).
+func (c *Coupled) Alpha() float64 { return c.group.alpha() }
 
 // SRTT returns the smoothed RTT the controller is using for the coupling
 // computation.

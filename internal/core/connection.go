@@ -9,6 +9,7 @@ import (
 	"mptcpgo/internal/cc"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sched"
 	"mptcpgo/internal/sim"
 	"mptcpgo/internal/tcp"
@@ -83,6 +84,13 @@ type Connection struct {
 	ccGroup   *cc.CoupledGroup
 	scheduler sched.Scheduler
 
+	// Flight-recorder identity, copied from the manager at creation. probe
+	// is nil when tracing is off; every emission site goes through the
+	// nil-safe recorder methods.
+	probe  *probe.Recorder
+	member int
+	connID int32
+
 	subflows      []*Subflow
 	nextSubflowID int
 
@@ -155,6 +163,12 @@ func newConnection(mgr *Manager, cfg Config, isClient bool) *Connection {
 		ofoBySubflow: make(map[int]int),
 		usedRemote:   make(map[packet.Endpoint]bool),
 		rwndLimit:    64 << 10,
+	}
+	if isClient && mgr.probeRec != nil {
+		c.probe = mgr.probeRec
+		c.member = mgr.probeMember
+		c.connID = mgr.nextConnID
+		mgr.nextConnID++
 	}
 	c.connRtx = c.sim.NewTimer(c.onConnRetransmitTimeout)
 	return c
@@ -448,13 +462,28 @@ func (c *Connection) newSubflow(role SubflowRole, client bool) *Subflow {
 	c.nextSubflowID++
 	c.subflows = append(c.subflows, s)
 	c.stats.SubflowsOpened++
+	if c.probe != nil && client {
+		c.probe.Emit(c.member, probe.KindSubflowSYN, c.connID, int32(s.id), int64(s.addrID), joinFlag(role))
+	}
 	return s
+}
+
+// joinFlag encodes the subflow role for event payloads.
+func joinFlag(role SubflowRole) int64 {
+	if role == RoleJoin {
+		return 1
+	}
+	return 0
 }
 
 // onSubflowEstablished runs when a subflow completes its TCP handshake.
 func (c *Connection) onSubflowEstablished(s *Subflow) {
 	if c.closed {
 		return
+	}
+	if c.probe != nil {
+		c.probe.Emit(c.member, probe.KindSubflowEstablished, c.connID, int32(s.id), int64(s.addrID), joinFlag(s.role))
+		c.watchSubflow(s)
 	}
 	if s.role == RoleInitial && !c.established {
 		c.established = true
@@ -570,12 +599,45 @@ func (c *Connection) subflowOnInterface(ifc *netem.Interface) bool {
 	return false
 }
 
+// watchSubflow registers the subflow with the flight recorder's time-series
+// sampler. The closure reads live endpoint state on each tick and emits a
+// quantized coupled-alpha transition event when the group's alpha moves; it
+// deregisters itself (with one final sample) once the subflow is gone.
+func (c *Connection) watchSubflow(s *Subflow) {
+	lastAlpha := int64(-1)
+	c.probe.Watch(c.member, c.connID, int32(s.id), func(out *probe.Sample) bool {
+		ep := s.ep
+		if ep == nil {
+			return false
+		}
+		ctrl := ep.Controller()
+		out.Cwnd = int64(ctrl.Cwnd())
+		out.Ssthresh = int64(ctrl.Ssthresh())
+		out.SRTT = ep.SRTT()
+		out.RTO = ep.RTO()
+		out.Inflight = int64(ep.BytesInFlight())
+		out.SentBytes = int64(s.bytesSent)
+		out.ReinjBytes = int64(s.reinjBytes)
+		if coupled, ok := ctrl.(*cc.Coupled); ok {
+			out.Alpha = coupled.Alpha()
+			if q := int64(out.Alpha * 1000); q != lastAlpha {
+				lastAlpha = q
+				c.probe.Emit(c.member, probe.KindCCAlpha, c.connID, int32(s.id), q, int64(c.ccGroup.TotalCwnd()))
+			}
+		}
+		return !s.failed && ep.State() != tcp.StateClosed
+	})
+}
+
 // dialJoinSubflow opens an MP_JOIN subflow from the given interface.
 func (c *Connection) dialJoinSubflow(ifc *netem.Interface, remote packet.Endpoint) {
 	s := c.newSubflow(RoleJoin, true)
 	s.localNonce = c.sim.RNG().Uint32()
 	cfg := c.cfg.subflowConfig(true)
 	cfg.CongestionControl = c.cfg.controllerFactory(c.ccGroup, true)
+	if c.probe != nil {
+		cfg.Probe = s
+	}
 	ep, err := tcp.Dial(ifc, remote, cfg, s)
 	if err != nil {
 		c.removeSubflow(s)
@@ -588,6 +650,14 @@ func (c *Connection) dialJoinSubflow(ifc *netem.Interface, remote packet.Endpoin
 // onSubflowFailed handles a subflow that was reset by MPTCP itself (HMAC or
 // checksum failure, lost options).
 func (c *Connection) onSubflowFailed(s *Subflow, reason string) {
+	if c.probe != nil {
+		var inflight int64
+		if s.ep != nil {
+			inflight = int64(s.ep.BytesInFlight())
+		}
+		c.probe.Emit(c.member, probe.KindSubflowFailed, c.connID, int32(s.id), 0, inflight)
+		c.probe.Count(c.member, probe.CtrSubflowDeaths, 1)
+	}
 	c.reinjectSubflowData(s)
 	c.removeSubflow(s)
 	if len(c.usableSubflows()) == 0 && !c.closed {
@@ -603,6 +673,21 @@ func (c *Connection) onSubflowClosed(s *Subflow, err error) {
 	s.failed = true
 	if c.closed {
 		return
+	}
+	if c.probe != nil {
+		if err != nil {
+			// Unexpected death (retransmission-limit teardown, reset): part
+			// of the failure taxonomy, A=1 distinguishes it from an MPTCP
+			// option-level failure.
+			var inflight int64
+			if s.ep != nil {
+				inflight = int64(s.ep.BytesInFlight())
+			}
+			c.probe.Emit(c.member, probe.KindSubflowFailed, c.connID, int32(s.id), 1, inflight)
+			c.probe.Count(c.member, probe.CtrSubflowDeaths, 1)
+		} else {
+			c.probe.Emit(c.member, probe.KindSubflowClosed, c.connID, int32(s.id), 0, 0)
+		}
 	}
 	if err != nil {
 		// Unexpected subflow death: make sure its unacknowledged data gets
@@ -745,6 +830,9 @@ func (c *Connection) RemoveLocalInterface(ifc *netem.Interface) {
 		s.failed = true
 		s.ep.SendReset()
 		c.reinjectSubflowData(s)
+		if c.probe != nil {
+			c.probe.Emit(c.member, probe.KindAddrRemoved, c.connID, int32(s.id), int64(s.addrID), 0)
+		}
 	}
 	if c.MPTCPActive() {
 		for _, s := range c.usableSubflows() {
@@ -762,6 +850,9 @@ func (c *Connection) RemoveLocalInterface(ifc *netem.Interface) {
 func (c *Connection) RestoreLocalInterface(ifc *netem.Interface) {
 	if c.closed || !c.MPTCPActive() || !c.established {
 		return
+	}
+	if c.probe != nil {
+		c.probe.Emit(c.member, probe.KindAddrRestored, c.connID, -1, 0, 0)
 	}
 	if c.isClient {
 		c.sim.Schedule(time.Millisecond, c.openAdditionalSubflows)
@@ -789,6 +880,14 @@ func (c *Connection) enterFallback(reason string, keep *Subflow) {
 	}
 	c.fallback = true
 	c.stats.Fallbacks++
+	if c.probe != nil {
+		var keepID int32 = -1
+		if keep != nil {
+			keepID = int32(keep.id)
+		}
+		c.probe.Emit(c.member, probe.KindFallback, c.connID, keepID, 0, 0)
+		c.probe.Count(c.member, probe.CtrFallbacks, 1)
+	}
 	// Terminate every other subflow; the surviving one carries the rest of
 	// the connection as plain TCP.
 	for _, s := range c.subflows {

@@ -5,6 +5,7 @@ import (
 
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/tcp"
 )
 
@@ -15,6 +16,14 @@ type Manager struct {
 	host   *netem.Host
 	tokens *TokenTable
 	conns  []*Connection
+
+	// probeRec, when non-nil, records flight-recorder events for this
+	// host's connections under global member index probeMember. Connection
+	// IDs are assigned per manager in dial order (nextConnID), which is
+	// deterministic per member and independent of shard layout.
+	probeRec    *probe.Recorder
+	probeMember int
+	nextConnID  int32
 }
 
 // NewManager creates the MPTCP stack for a host.
@@ -24,6 +33,18 @@ func NewManager(host *netem.Host) *Manager {
 
 // Host returns the underlying host.
 func (m *Manager) Host() *netem.Host { return m.host }
+
+// SetProbe attaches a flight recorder: every connection dialed afterwards
+// records events and samples under the given global member index. A nil
+// recorder (the default) keeps all instrumentation dormant.
+func (m *Manager) SetProbe(rec *probe.Recorder, member int) {
+	m.probeRec = rec
+	m.probeMember = member
+}
+
+// Probe returns the attached flight recorder (nil when tracing is off) and
+// the member index it records under.
+func (m *Manager) Probe() (*probe.Recorder, int) { return m.probeRec, m.probeMember }
 
 // Tokens exposes the token table (experiments measuring connection-setup
 // latency populate it directly).
@@ -68,6 +89,9 @@ func (m *Manager) Dial(iface *netem.Interface, remote packet.Endpoint, cfg Confi
 	s := c.newSubflow(RoleInitial, true)
 	scfg := c.cfg.subflowConfig(true)
 	scfg.CongestionControl = c.cfg.controllerFactory(c.ccGroup, c.cfg.EnableMPTCP)
+	if c.probe != nil {
+		scfg.Probe = s
+	}
 	ep, err := tcp.Dial(iface, remote, scfg, s)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"mptcpgo/internal/buffer"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sched"
 )
 
@@ -153,7 +154,12 @@ func (c *Connection) sendMapping(sf *Subflow, dataSeq uint64, data []byte, reinj
 		reinject.lastReinject = now
 		reinject.reinjections++
 		sf.reinjectsSent++
+		sf.reinjBytes += uint64(len(data))
 		c.stats.Reinjections++
+		if c.probe != nil {
+			c.probe.Emit(c.member, probe.KindReinjection, c.connID, int32(sf.id), int64(len(data)), int64(reinject.reinjections))
+			c.probe.Count(c.member, probe.CtrReinjections, 1)
+		}
 	}
 	c.armConnRtx()
 	return true

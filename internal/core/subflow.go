@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/tcp"
 )
 
@@ -93,6 +94,7 @@ type Subflow struct {
 	chunksSent    uint64
 	bytesSent     uint64
 	reinjectsSent uint64
+	reinjBytes    uint64
 	csumFailures  uint64
 	unmappedBytes uint64
 }
@@ -132,6 +134,10 @@ func (s *Subflow) Backup() bool { return s.backup }
 // OnSegmentSent implements tcp.Hooks.
 func (s *Subflow) OnSegmentSent(e *tcp.Endpoint, seg *packet.Segment, retransmission bool) {
 	c := s.conn
+	if c.probe != nil {
+		c.probe.Count(c.member, probe.CtrSegments, 1)
+		c.probe.Count(c.member, probe.CtrSegBytes, uint64(seg.WireLen()))
+	}
 	isSYN := seg.Flags.Has(packet.FlagSYN)
 
 	if isSYN {
@@ -587,4 +593,41 @@ func (s *Subflow) AdvertiseWindow(e *tcp.Endpoint) (int, bool) {
 		return 0, false
 	}
 	return c.receiveWindow(), true
+}
+
+// ---------------------------------------------------------------------------
+// tcp.ProbeSink: endpoint telemetry forwarded to the flight recorder
+// ---------------------------------------------------------------------------
+//
+// These are only ever invoked when the connection has a recorder attached
+// (the endpoint's Probe config field is set iff c.probe != nil), so they
+// forward unconditionally.
+
+// OnEndpointRTO implements tcp.ProbeSink.
+func (s *Subflow) OnEndpointRTO(e *tcp.Endpoint, backoff int, rto time.Duration) {
+	c := s.conn
+	c.probe.Emit(c.member, probe.KindRTO, c.connID, int32(s.id), int64(backoff), int64(rto))
+	c.probe.Count(c.member, probe.CtrRTOs, 1)
+}
+
+// OnEndpointFastRetransmit implements tcp.ProbeSink.
+func (s *Subflow) OnEndpointFastRetransmit(e *tcp.Endpoint) {
+	c := s.conn
+	c.probe.Emit(c.member, probe.KindFastRetransmit, c.connID, int32(s.id), 0, 0)
+	c.probe.Count(c.member, probe.CtrFastRtx, 1)
+}
+
+// OnEndpointCCState implements tcp.ProbeSink.
+func (s *Subflow) OnEndpointCCState(e *tcp.Endpoint, state tcp.CCState) {
+	c := s.conn
+	var k probe.Kind
+	switch state {
+	case tcp.CCSlowStart:
+		k = probe.KindCCSlowStart
+	case tcp.CCRecovery:
+		k = probe.KindCCRecovery
+	default:
+		k = probe.KindCCAvoidance
+	}
+	c.probe.Emit(c.member, k, c.connID, int32(s.id), int64(e.Cwnd()), int64(e.Controller().Ssthresh()))
 }

@@ -7,6 +7,7 @@ import (
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 	"mptcpgo/internal/trace"
 )
@@ -48,6 +49,12 @@ type BulkOptions struct {
 	// path via the unified wire codec. Capture only observes; the run's
 	// results are unchanged.
 	PcapPath string
+
+	// Trace, when enabled, attaches the flight recorder to the client stack
+	// and writes <TraceName>-trace.json and <TraceName>-events.jsonl into
+	// Trace.Dir. Capture never changes the run's results.
+	Trace     TraceSpec
+	TraceName string
 }
 
 // BulkResult summarises one bulk-transfer run.
@@ -112,6 +119,14 @@ func RunBulk(opt BulkOptions) (BulkResult, error) {
 
 	cliMgr := core.NewManager(net.Client)
 	srvMgr := core.NewManager(net.Server)
+	var rec *probe.Recorder
+	if opt.Trace.Enabled() {
+		rec = probe.NewRecorder(s, 0, 1, opt.Trace.ProbeConfig())
+		cliMgr.SetProbe(rec, 0)
+		// The run ends at a fixed simulated Duration, so the sampler never
+		// needs a completion signal; unprocessed ticks past it are dropped.
+		rec.StartSampler(func() bool { return false })
+	}
 
 	received := 0
 	var serverConn *core.Connection
@@ -254,6 +269,17 @@ func RunBulk(opt BulkOptions) (BulkResult, error) {
 	// back a truncated file.
 	if err := closePcap(); err != nil {
 		return BulkResult{}, err
+	}
+	if opt.Trace.Enabled() {
+		name := opt.TraceName
+		if name == "" {
+			name = "bulk"
+		}
+		recs := []*probe.Recorder{rec}
+		tr := BuildTraceResult(name+"-trace", name+" (flight recorder)", opt.Seed, false, recs)
+		if err := WriteTraceFiles(opt.Trace, name, tr, MergedEvents(recs)); err != nil {
+			return BulkResult{}, err
+		}
 	}
 	return res, nil
 }

@@ -38,6 +38,11 @@ type Options struct {
 	// wire codec; results are unchanged.
 	PcapDir string
 
+	// Trace, when enabled (non-empty Dir), makes experiments that support
+	// the flight recorder write `<case>-trace.json` and `<case>-events.jsonl`
+	// into Trace.Dir. Capture never changes the experiment's own results.
+	Trace TraceSpec
+
 	// seedSet records that Seed was supplied explicitly (WithSeed), making
 	// seed 0 a legal seed instead of an alias for the default.
 	seedSet bool
@@ -64,6 +69,12 @@ func WithPaperEraCPU() Option { return func(o *Options) { o.PaperEraCPU = true }
 // WithPcapDir enables per-case pcap capture into dir for experiments that
 // support it.
 func WithPcapDir(dir string) Option { return func(o *Options) { o.PcapDir = dir } }
+
+// WithTrace enables flight-recorder capture into dir; interval sets the
+// per-subflow time-series cadence (0 records events only).
+func WithTrace(dir string, interval time.Duration) Option {
+	return func(o *Options) { o.Trace = TraceSpec{Dir: dir, ProbeInterval: interval} }
+}
 
 // NewOptions applies the functional options to a zero Options value.
 func NewOptions(opts ...Option) Options {

@@ -8,6 +8,7 @@ import (
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/httpsim"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 )
 
@@ -42,6 +43,13 @@ func fig11Params(quick bool) (clients, requests int) {
 // RunFig11Point runs one (mode, size) combination and returns requests/sec.
 // Mode is one of "tcp", "bonding", "mptcp".
 func RunFig11Point(seed uint64, mode string, size, clients, requests int) (httpsim.PoolResult, error) {
+	return RunFig11PointTraced(seed, mode, size, clients, requests, TraceSpec{})
+}
+
+// RunFig11PointTraced is RunFig11Point with an optional flight recorder:
+// when the spec is enabled, httpbench-trace.json and httpbench-events.jsonl
+// are written to its directory. Capture never changes the returned result.
+func RunFig11PointTraced(seed uint64, mode string, size, clients, requests int, tspec TraceSpec) (httpsim.PoolResult, error) {
 	s := sim.New(seed)
 	gig := netem.LinkConfig{RateBps: netem.Gbps(1), Delay: 100 * time.Microsecond, QueueBytes: 512 << 10}
 
@@ -78,6 +86,12 @@ func RunFig11Point(seed uint64, mode string, size, clients, requests int) (https
 		return httpsim.PoolResult{}, err
 	}
 
+	var rec *probe.Recorder
+	if tspec.Enabled() {
+		rec = probe.NewRecorder(s, 0, 1, tspec.ProbeConfig())
+		cliMgr.SetProbe(rec, 0)
+	}
+
 	serverIfaceAddr := serverHost.Interfaces()[0].Addr()
 	pool, err := httpsim.NewClientPool(cliMgr, httpsim.ClientPoolConfig{
 		Clients:       clients,
@@ -91,9 +105,19 @@ func RunFig11Point(seed uint64, mode string, size, clients, requests int) (https
 	if err != nil {
 		return httpsim.PoolResult{}, err
 	}
+	rec.StartSampler(pool.Done)
 	pool.Start()
 	if err := s.RunUntil(10 * time.Minute); err != nil {
 		return httpsim.PoolResult{}, err
+	}
+	if tspec.Enabled() {
+		recs := []*probe.Recorder{rec}
+		tr := BuildTraceResult("httpbench-trace",
+			fmt.Sprintf("httpbench mode=%s size=%d (flight recorder)", mode, size),
+			seed, false, recs)
+		if err := WriteTraceFiles(tspec, "httpbench", tr, MergedEvents(recs)); err != nil {
+			return httpsim.PoolResult{}, err
+		}
 	}
 	return pool.Result(), nil
 }

@@ -86,14 +86,16 @@ func runMbox(opt Options) (*Result, error) {
 			pcapPath = filepath.Join(opt.PcapDir, fmt.Sprintf("mbox-%02d.pcap", i))
 		}
 		return RunBulk(BulkOptions{
-			Seed:     opt.Seed + uint64(i)*101,
-			Specs:    netem.WiFi3GSpec(),
-			Boxes:    boxes,
-			Client:   cfg,
-			Server:   cfg,
-			Duration: duration,
-			Warmup:   duration / 4,
-			PcapPath: pcapPath,
+			Seed:      opt.Seed + uint64(i)*101,
+			Specs:     netem.WiFi3GSpec(),
+			Boxes:     boxes,
+			Client:    cfg,
+			Server:    cfg,
+			Duration:  duration,
+			Warmup:    duration / 4,
+			PcapPath:  pcapPath,
+			Trace:     opt.Trace,
+			TraceName: fmt.Sprintf("mbox-%02d", i),
 		})
 	})
 	if err != nil {

@@ -38,6 +38,7 @@ import (
 
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 )
 
@@ -272,6 +273,36 @@ type Injector struct {
 	Squeezes   int
 	Removals   int // interface withdrawals (ifdown, churn)
 	Restores   int // interface restorations
+
+	// Flight recorder, attached via SetProbe. Action closures read these at
+	// fire time, so attaching after Apply (but before the simulation steps)
+	// still captures every action.
+	probe  *probe.Recorder
+	member int
+}
+
+// SetProbe attaches a flight recorder: every fault action fired from now on
+// is emitted as a KindFaultAction event under the given global member index.
+func (in *Injector) SetProbe(rec *probe.Recorder, member int) {
+	in.probe = rec
+	in.member = member
+}
+
+// note records one fault action against the flight recorder (no-op when no
+// probe is attached). B carries the index of the affected path.
+func (in *Injector) note(code int64, p *netem.Path) {
+	if in.probe == nil {
+		return
+	}
+	pathIdx := int64(-1)
+	for i, q := range in.paths {
+		if q == p {
+			pathIdx = int64(i)
+			break
+		}
+	}
+	in.probe.Emit(in.member, probe.KindFaultAction, -1, -1, code, pathIdx)
+	in.probe.Count(in.member, probe.CtrFaultActions, 1)
 }
 
 // Apply schedules the spec's faults against the given paths. mgr may be nil
@@ -313,7 +344,9 @@ func (in *Injector) targets(f Fault) []*netem.Path {
 func (in *Injector) schedule(f Fault, p *netem.Path, at time.Duration) {
 	switch f.Kind {
 	case "flap":
-		in.scheduleCycle(f, p, at, func() { p.SetDown(true); in.Flaps++ }, func() { p.SetDown(false) })
+		in.scheduleCycle(f, p, at,
+			func() { p.SetDown(true); in.Flaps++; in.note(probe.FaultLinkDown, p) },
+			func() { p.SetDown(false); in.note(probe.FaultLinkUp, p) })
 	case "churn":
 		in.scheduleCycle(f, p, at,
 			func() { in.removeIface(p) },
@@ -322,27 +355,30 @@ func (in *Injector) schedule(f Fault, p *netem.Path, at time.Duration) {
 		in.sim.ScheduleAt(at, func() {
 			p.SetDown(true)
 			in.Outages++
+			in.note(probe.FaultLinkDown, p)
 			if f.Dur > 0 {
-				in.sim.Schedule(f.Dur, func() { p.SetDown(false) })
+				in.sim.Schedule(f.Dur, func() { p.SetDown(false); in.note(probe.FaultLinkUp, p) })
 			}
 		})
 	case "loss":
 		in.sim.ScheduleAt(at, func() {
 			in.LossBursts++
+			in.note(probe.FaultLossOn, p)
 			in.reconfigure(p, f.Dur, func(cfg netem.LinkConfig) netem.LinkConfig {
 				cfg.LossRate = f.Rate
 				return cfg
-			})
+			}, func() { in.note(probe.FaultLossOff, p) })
 		})
 	case "squeeze":
 		in.sim.ScheduleAt(at, func() {
 			in.Squeezes++
+			in.note(probe.FaultSqueeze, p)
 			in.reconfigure(p, f.Dur, func(cfg netem.LinkConfig) netem.LinkConfig {
 				if cfg.RateBps > 0 {
 					return CapRate(cfg, int64(float64(cfg.RateBps)*f.Factor))
 				}
 				return cfg
-			})
+			}, func() { in.note(probe.FaultRestoreRate, p) })
 		})
 	case "ifdown":
 		in.sim.ScheduleAt(at, func() {
@@ -386,8 +422,10 @@ func CapRate(cfg netem.LinkConfig, bps int64) netem.LinkConfig {
 }
 
 // reconfigure applies a transform to both directional links of a path and
-// restores the pre-burst configuration after dur (0 = permanent).
-func (in *Injector) reconfigure(p *netem.Path, dur time.Duration, transform func(netem.LinkConfig) netem.LinkConfig) {
+// restores the pre-burst configuration after dur (0 = permanent). onRestore,
+// when non-nil, runs inside the restore event — it must not schedule further
+// events, so the event count is identical with or without it.
+func (in *Injector) reconfigure(p *netem.Path, dur time.Duration, transform func(netem.LinkConfig) netem.LinkConfig, onRestore func()) {
 	origAB, origBA := p.LinkAB().Config(), p.LinkBA().Config()
 	p.LinkAB().SetConfig(transform(origAB))
 	p.LinkBA().SetConfig(transform(origBA))
@@ -395,6 +433,9 @@ func (in *Injector) reconfigure(p *netem.Path, dur time.Duration, transform func
 		in.sim.Schedule(dur, func() {
 			p.LinkAB().SetConfig(origAB)
 			p.LinkBA().SetConfig(origBA)
+			if onRestore != nil {
+				onRestore()
+			}
 		})
 	}
 }
@@ -419,6 +460,7 @@ func (in *Injector) hostIface(p *netem.Path) *netem.Interface {
 func (in *Injector) removeIface(p *netem.Path) {
 	p.SetDown(true)
 	in.Removals++
+	in.note(probe.FaultIfaceDown, p)
 	if ifc := in.hostIface(p); ifc != nil {
 		in.mgr.RemoveLocalInterface(ifc)
 	}
@@ -427,6 +469,7 @@ func (in *Injector) removeIface(p *netem.Path) {
 func (in *Injector) restoreIface(p *netem.Path) {
 	p.SetDown(false)
 	in.Restores++
+	in.note(probe.FaultIfaceUp, p)
 	if ifc := in.hostIface(p); ifc != nil {
 		in.mgr.RestoreLocalInterface(ifc)
 	}

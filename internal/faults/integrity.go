@@ -115,6 +115,9 @@ type Watchdog struct {
 	OnStall func(at time.Duration, progress uint64)
 	// Stalls counts stalled intervals (not episodes).
 	Stalls int
+	// Episodes counts distinct stall episodes: runs of stalled intervals
+	// separated by progress. One episode may span many stalled intervals.
+	Episodes int
 
 	sim      *sim.Simulator
 	interval time.Duration
@@ -156,6 +159,7 @@ func (w *Watchdog) tick() {
 		w.Stalls++
 		if !w.inStall {
 			w.inStall = true
+			w.Episodes++
 			if w.OnStall != nil {
 				w.OnStall(w.sim.Now(), cur)
 			}

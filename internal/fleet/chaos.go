@@ -11,6 +11,7 @@ import (
 	"mptcpgo/internal/middlebox"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 )
 
@@ -68,6 +69,10 @@ type ChaosSpec struct {
 	// CaptureName overrides the capture file prefix (default "fleet-chaos");
 	// the adversarial grid uses it for per-case file names.
 	CaptureName string
+	// Trace enables the flight recorder: typed events, per-member counters
+	// and per-subflow samples written to <Trace.Dir>/<CaptureName>-trace.json
+	// and -events.jsonl. Never changes the scenario's own result.
+	Trace experiments.TraceSpec
 }
 
 func (s ChaosSpec) withDefaults() ChaosSpec {
@@ -232,6 +237,7 @@ type chaosMerge struct {
 	ok           int
 	fallback     int
 	stalled      int
+	stallEps     int
 	failed       int
 	intact       int
 	bytes        uint64
@@ -257,6 +263,7 @@ func (m *chaosMerge) merge(o chaosMerge) {
 	m.ok += o.ok
 	m.fallback += o.fallback
 	m.stalled += o.stalled
+	m.stallEps += o.stallEps
 	m.failed += o.failed
 	m.intact += o.intact
 	m.bytes += o.bytes
@@ -306,6 +313,7 @@ func joinComma(parts []string) string {
 type chaosShardOut struct {
 	merge  chaosMerge
 	events uint64
+	rec    *probe.Recorder
 }
 
 // RunChaos executes the fleet-chaos scenario and returns the merged result,
@@ -350,7 +358,7 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 	table := experiments.NewTable(
 		fmt.Sprintf("%d members across %d shards, %d KiB each, watchdog %v",
 			spec.Members, len(outs), spec.TransferBytes>>10, spec.WatchdogInterval),
-		"shard", "members", "ok", "fallback", "stalled", "failed", "intact",
+		"shard", "members", "ok", "fallback", "stalled", "stallEp", "failed", "intact",
 		"reinject", "connRtx", "flaps", "ifdown", "ifup", "reasons", "events")
 	var total chaosMerge
 	var totalEvents uint64
@@ -359,7 +367,8 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 		okSeries[i] = float64(out.merge.ok + out.merge.fallback)
 		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.merge.members),
 			fmt.Sprintf("%d", out.merge.ok), fmt.Sprintf("%d", out.merge.fallback),
-			fmt.Sprintf("%d", out.merge.stalled), fmt.Sprintf("%d", out.merge.failed),
+			fmt.Sprintf("%d", out.merge.stalled), fmt.Sprintf("%d", out.merge.stallEps),
+			fmt.Sprintf("%d", out.merge.failed),
 			fmt.Sprintf("%d", out.merge.intact),
 			fmt.Sprintf("%d", out.merge.reinjections), fmt.Sprintf("%d", out.merge.connRtx),
 			fmt.Sprintf("%d", out.merge.flaps), fmt.Sprintf("%d", out.merge.removals),
@@ -370,13 +379,15 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 	}
 	table.AddRow("all", fmt.Sprintf("%d", total.members),
 		fmt.Sprintf("%d", total.ok), fmt.Sprintf("%d", total.fallback),
-		fmt.Sprintf("%d", total.stalled), fmt.Sprintf("%d", total.failed),
+		fmt.Sprintf("%d", total.stalled), fmt.Sprintf("%d", total.stallEps),
+		fmt.Sprintf("%d", total.failed),
 		fmt.Sprintf("%d", total.intact),
 		fmt.Sprintf("%d", total.reinjections), fmt.Sprintf("%d", total.connRtx),
 		fmt.Sprintf("%d", total.flaps), fmt.Sprintf("%d", total.removals),
 		fmt.Sprintf("%d", total.restores),
 		total.reasonSummary(), fmt.Sprintf("%d", totalEvents))
 	table.AddNote("invariant: every member must finish ok (intact hash, multipath), or fallback (intact hash, taxonomized reason); stalled = watchdog abort, failed = connection error or integrity violation")
+	table.AddNote("stallEp counts distinct watchdog stall episodes (runs of no-progress intervals) across the shard's members")
 	if !spec.Faults.Empty() {
 		table.AddNote("fault schedule: %s (per-member jitter streams via DeriveSeed)", spec.Faults.String())
 	}
@@ -387,6 +398,16 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 	res.AddSeries(ShardSeries("completed members", "count", okSeries))
 	for _, dump := range total.stallDumps {
 		table.AddNote("%s", dump)
+	}
+	if spec.Trace.Enabled() {
+		recs := make([]*probe.Recorder, len(outs))
+		for i, out := range outs {
+			recs[i] = out.rec
+		}
+		tr := experiments.BuildTraceResult("fleet-chaos-trace", title+" (flight recorder)", spec.Seed, spec.Quick, recs)
+		if err := experiments.WriteTraceFiles(spec.Trace, spec.CaptureName, tr, experiments.MergedEvents(recs)); err != nil {
+			return nil, chaosMerge{}, err
+		}
 	}
 	return res, total, nil
 }
@@ -422,6 +443,7 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 		return chaosShardOut{}, err
 	}
 	defer closeCapture()
+	rec := sh.StartProbe(spec.Trace)
 
 	srvMgr := sh.Manager("server")
 	remaining := sh.Members()
@@ -429,12 +451,16 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
 		gi := gi
 		mgr := sh.Manager(clientHostName(gi))
+		mgr.SetProbe(rec, gi)
 		m := &chaosMember{
 			spec:    spec,
 			gi:      gi,
 			checker: faults.NewChecker(sim.DeriveSeed(spec.Seed, chaosStream+uint64(gi)), spec.TransferBytes),
 			buf:     make([]byte, 32<<10),
-			onDone:  func() { remaining-- },
+			// Freeze the member's recording at its own completion time: the
+			// shard keeps simulating for its slowest member, and post-done
+			// fault/teardown events would otherwise depend on the partition.
+			onDone: func() { remaining--; rec.Freeze(gi) },
 		}
 		members = append(members, m)
 
@@ -481,17 +507,26 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 		idx := pathIdx[gi]
 		paths := []*netem.Path{sh.Net.Paths[idx[0]], sh.Net.Paths[idx[1]]}
 		m.injector = faults.Apply(sh.Sim, spec.Faults, paths, mgr, spec.Seed, uint64(gi))
+		m.injector.SetProbe(rec, gi)
 
 		m.watchdog = faults.NewWatchdog(sh.Sim, spec.WatchdogInterval,
 			func() uint64 { return m.checker.Received() + m.sent },
 			func() bool { return m.done })
 		m.watchdog.OnStall = m.onStall
+		if rec != nil {
+			m.watchdog.OnStall = func(at time.Duration, progress uint64) {
+				rec.Emit(gi, probe.KindStall, 0, -1, int64(progress), 0)
+				rec.Count(gi, probe.CtrStallEpisodes, 1)
+				m.onStall(at, progress)
+			}
+		}
 		m.watchdog.Start()
 	}
 
+	rec.StartSampler(func() bool { return remaining == 0 })
 	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
 
-	out := chaosShardOut{events: sh.Sim.Processed}
+	out := chaosShardOut{events: sh.probeEvents(), rec: rec}
 	out.merge.members = sh.Members()
 	for _, m := range members {
 		if !m.done {
@@ -531,6 +566,20 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 		out.merge.flaps += m.injector.Flaps
 		out.merge.removals += m.injector.Removals
 		out.merge.restores += m.injector.Restores
+		out.merge.stallEps += m.watchdog.Episodes
+		if rec != nil {
+			// Fold the member's wire drops (both paths, both directions) into
+			// its counter registry at collect time.
+			idx := pathIdx[m.gi]
+			var drops uint64
+			for _, pi := range idx {
+				for _, l := range []*netem.Link{sh.Net.Paths[pi].LinkAB(), sh.Net.Paths[pi].LinkBA()} {
+					st := l.Stats()
+					drops += st.DroppedQueue + st.DroppedRandom
+				}
+			}
+			rec.CountFinal(m.gi, probe.CtrDrops, drops)
+		}
 	}
 	if err := closeCapture(); err != nil {
 		return chaosShardOut{}, err

@@ -32,10 +32,11 @@ const (
 	colOK      = 2
 	colFB      = 3
 	colStalled = 4
-	colFailed  = 5
-	colIntact  = 6
-	colIfdown  = 10
-	colIfup    = 11
+	colStallEp = 5
+	colFailed  = 6
+	colIntact  = 7
+	colIfdown  = 11
+	colIfup    = 12
 )
 
 func TestChaosBaseline(t *testing.T) {

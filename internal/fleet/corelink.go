@@ -7,6 +7,7 @@ import (
 	"mptcpgo/internal/capacity"
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/trace"
 )
 
@@ -75,6 +76,11 @@ func memberWeights(descs []Shard, weight func(i int) float64) []float64 {
 type corelinkScenario struct {
 	spec *CorelinkSpec
 	c    *capacity.Coupler
+	// recs[shard] is the shard's flight recorder (nil when tracing is off).
+	// Written by Setup (each worker its own slot), read by the coupler's
+	// OnEpoch hook on the allocator goroutine — the epoch barrier's
+	// worker-pool join provides the happens-before edge.
+	recs []*probe.Recorder
 }
 
 func (cs *corelinkScenario) Setup(sh *Shard) (*openLoopState, *capacity.Meter, error) {
@@ -95,6 +101,7 @@ func (cs *corelinkScenario) Setup(sh *Shard) (*openLoopState, *capacity.Meter, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("fleet: shard %d: %w", sh.Index, err)
 	}
+	cs.recs[sh.Index] = sh.Probe
 	return st, m, nil
 }
 
@@ -126,6 +133,20 @@ func RunCorelink(spec CorelinkSpec) (*experiments.Result, error) {
 			}
 			coupler = c
 			scn.c = c
+			scn.recs = make([]*probe.Recorder, len(descs))
+			if spec.Trace.Enabled() {
+				// Epoch allocations are fleet-global; record them once, on the
+				// first shard's recorder against its first member. They carry
+				// shard-aggregate state, so they are part of the worker-count
+				// byte-identity contract but not the shard-count one.
+				c.OnEpoch = func(r capacity.EpochRecord) {
+					rec := scn.recs[0]
+					rec.Emit(rec.Lo(), probe.KindEpochAlloc, -1, int32(r.Link), int64(r.Epoch), int64(r.Bottlenecked))
+					if r.Bottlenecked > 0 {
+						rec.Count(rec.Lo(), probe.CtrEpochCongested, 1)
+					}
+				}
+			}
 			return c, nil
 		}, scn)
 	if err != nil {
@@ -174,6 +195,16 @@ func RunCorelink(spec CorelinkSpec) (*experiments.Result, error) {
 	res.AddSeries(ShardSeries("goodput", "Mbps", goodput))
 	res.AddSeries(ShardSeries("latency p99", "ms", p99))
 	addCapacityReport(res, coupler)
+	if spec.Trace.Enabled() {
+		recs := make([]*probe.Recorder, len(outs))
+		for i, out := range outs {
+			recs[i] = out.rec
+		}
+		tr := experiments.BuildTraceResult("fleet-corelink-trace", title+" (flight recorder)", spec.Seed, spec.Quick, recs)
+		if err := experiments.WriteTraceFiles(spec.Trace, "fleet-corelink", tr, experiments.MergedEvents(recs)); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 

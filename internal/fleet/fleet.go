@@ -22,6 +22,7 @@ import (
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 	"mptcpgo/internal/trace"
 )
@@ -57,6 +58,10 @@ type Shard struct {
 	// scenarios check its EncodeErrors after the run — the stacks emit only
 	// wire-expressible segments, so any skipped record is an emulator bug.
 	Capture *trace.PcapWriter
+
+	// Probe is the shard's flight recorder when StartProbe opened one (nil
+	// otherwise; see probe.go). Its member range is the shard's [Lo, Hi).
+	Probe *probe.Recorder
 }
 
 // Members returns the number of workload members the shard owns.

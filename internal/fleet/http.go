@@ -9,6 +9,7 @@ import (
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/httpsim"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/trace"
 )
 
@@ -66,6 +67,9 @@ type HTTPSpec struct {
 	// Weight gives client i's allocation weight on the shared bottleneck
 	// (nil = equal weights); ignored when Shared is nil.
 	Weight func(i int) float64
+	// Trace enables the flight recorder (events + counters + samples written
+	// to Trace.Dir). Never changes the scenario's own result.
+	Trace experiments.TraceSpec
 }
 
 // DefaultAccessLink derives the deterministic heterogeneous access link used
@@ -137,6 +141,7 @@ type httpShardOut struct {
 	clients int
 	merge   PoolMerge
 	events  uint64
+	rec     *probe.Recorder
 }
 
 // clientHostName names the global client i's host; zero-padding keeps names
@@ -215,6 +220,16 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	if coupler != nil {
 		addCapacityReport(res, coupler)
 	}
+	if spec.Trace.Enabled() {
+		recs := make([]*probe.Recorder, len(outs))
+		for i, out := range outs {
+			recs[i] = out.rec
+		}
+		trr := experiments.BuildTraceResult("fleet-http-trace", title+" (flight recorder)", spec.Seed, spec.Quick, recs)
+		if err := experiments.WriteTraceFiles(spec.Trace, "fleet-http", trr, experiments.MergedEvents(recs)); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -256,6 +271,7 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 	if err != nil {
 		return nil, err
 	}
+	rec := sh.StartProbe(spec.Trace)
 	st := &httpState{graph: g, remaining: sh.Members(), closeCapture: closeCapture}
 
 	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
@@ -265,6 +281,7 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
 		c := &spec.Clients[gi]
 		mgr := sh.Manager(clientHostName(gi))
+		mgr.SetProbe(rec, gi)
 		iface := mgr.Host().Interfaces()[0]
 		pool, err := httpsim.NewClientPool(mgr, httpsim.ClientPoolConfig{
 			Clients:       1,
@@ -284,12 +301,13 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 		// spread out the same way regardless of the partition.
 		sh.Sim.Schedule(time.Duration(gi%97)*127*time.Microsecond, pool.Start)
 	}
+	rec.StartSampler(st.done)
 	return st, nil
 }
 
 // collect finalizes one shard and returns its merge contribution.
 func (st *httpState) collect(sh *Shard) (httpShardOut, error) {
-	out := httpShardOut{clients: sh.Members(), events: sh.Sim.Processed}
+	out := httpShardOut{clients: sh.Members(), events: sh.probeEvents(), rec: sh.Probe}
 	for _, p := range st.pools {
 		out.merge.Add(p.Result(), p.LatencySamples())
 	}

@@ -8,6 +8,7 @@ import (
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/httpsim"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 	"mptcpgo/internal/trace"
 	"mptcpgo/internal/workload"
@@ -68,6 +69,9 @@ type OpenLoopSpec struct {
 	// PcapDir, when non-empty, captures every shard's wire traffic into
 	// <PcapDir>/fleet-openloop-shard<NNN>.pcap.
 	PcapDir string
+	// Trace enables the flight recorder (events + counters + samples written
+	// to Trace.Dir). Never changes the scenario's own result.
+	Trace experiments.TraceSpec
 }
 
 // DefaultOpenLoopSpec builds the stock fleet-openloop workload: hosts client
@@ -195,6 +199,7 @@ type openLoopShardOut struct {
 	hosts  int
 	merge  openLoopMerge
 	events uint64
+	rec    *probe.Recorder
 	// segments counts the wire segments every link of the shard serialized —
 	// the numerator of the BenchmarkFleetSegmentRate headline metric. It is
 	// accounted but deliberately kept out of the rendered tables so the
@@ -255,6 +260,16 @@ func RunOpenLoop(spec OpenLoopSpec) (*experiments.Result, error) {
 	res.AddTable(table)
 	res.AddSeries(ShardSeries("goodput", "Mbps", goodput))
 	res.AddSeries(ShardSeries("latency p99", "ms", p99))
+	if spec.Trace.Enabled() {
+		recs := make([]*probe.Recorder, len(outs))
+		for i, out := range outs {
+			recs[i] = out.rec
+		}
+		tr := experiments.BuildTraceResult("fleet-openloop-trace", title+" (flight recorder)", spec.Seed, spec.Quick, recs)
+		if err := experiments.WriteTraceFiles(spec.Trace, "fleet-openloop", tr, experiments.MergedEvents(recs)); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -301,6 +316,7 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 	if err != nil {
 		return nil, err
 	}
+	rec := sh.StartProbe(spec.Trace)
 	st := &openLoopState{graph: g, remaining: sh.Members(), closeCapture: closeCapture}
 
 	if _, err := httpsim.StartServer(sh.Manager("server"), httpsim.ServerConfig{Port: 80, Conn: *spec.Server}); err != nil {
@@ -310,6 +326,7 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 	fraction := 1 / float64(spec.Hosts)
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
 		mgr := sh.Manager(clientHostName(gi))
+		mgr.SetProbe(rec, gi)
 		iface := mgr.Host().Interfaces()[0]
 		pool, err := httpsim.NewOpenLoopPool(mgr, httpsim.OpenLoopConfig{
 			Arrival:      spec.Arrival.Thin(fraction),
@@ -332,15 +349,24 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 		// load (their first gaps differ per host stream).
 		sh.Sim.Schedule(0, pool.Start)
 	}
+	rec.StartSampler(st.done)
 	return st, nil
 }
 
 // collect finalizes the shard after its last step: fold the pool results in
 // host order, count serialized segments and close the capture.
 func (st *openLoopState) collect(sh *Shard) (openLoopShardOut, error) {
-	out := openLoopShardOut{hosts: sh.Members(), events: sh.Sim.Processed, segments: sh.SegmentsSent()}
+	out := openLoopShardOut{hosts: sh.Members(), events: sh.probeEvents(), segments: sh.SegmentsSent(), rec: sh.Probe}
 	for _, p := range st.pools {
 		out.merge.add(p.Result(), p.LatencySamples())
+	}
+	if sh.Probe != nil {
+		// Fold each host's access-link wire drops into its counter registry.
+		for gi := sh.Lo; gi < sh.Hi; gi++ {
+			pa := sh.Net.Paths[gi-sh.Lo]
+			sa, sb := pa.LinkAB().Stats(), pa.LinkBA().Stats()
+			sh.Probe.Count(gi, probe.CtrDrops, sa.DroppedQueue+sa.DroppedRandom+sb.DroppedQueue+sb.DroppedRandom)
+		}
 	}
 	if err := st.closeCapture(); err != nil {
 		return openLoopShardOut{}, err

@@ -8,6 +8,7 @@ import (
 	"mptcpgo/internal/core"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
+	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
 	"mptcpgo/internal/trace"
 	"mptcpgo/internal/workload"
@@ -105,6 +106,11 @@ type OpenLoopPool struct {
 	settledAt    time.Duration
 	doneFired    bool
 	latency      *trace.Sampler
+
+	// rec/member mirror the manager's flight recorder at pool construction
+	// (nil recorder = no tracing); flow settlements emit KindFlowDone.
+	rec    *probe.Recorder
+	member int
 }
 
 // NewOpenLoopPool creates a pool bound to the client's manager.
@@ -125,13 +131,22 @@ func NewOpenLoopPool(mgr *core.Manager, cfg OpenLoopConfig) (*OpenLoopPool, erro
 			return nil, fmt.Errorf("httpsim: client host has no interfaces")
 		}
 	}
-	return &OpenLoopPool{
+	p := &OpenLoopPool{
 		cfg:     cfg,
 		mgr:     mgr,
 		sim:     mgr.Host().Sim(),
 		latency: trace.NewSampler(),
-	}, nil
+	}
+	p.rec, p.member = mgr.Probe()
+	return p, nil
 }
+
+// flowDone outcome codes carried in KindFlowDone's A payload.
+const (
+	flowFailed  = 0
+	flowOK      = 1
+	flowDropped = 2
+)
 
 // Start begins generating arrivals at the current simulation time.
 func (p *OpenLoopPool) Start() {
@@ -178,6 +193,7 @@ func (p *OpenLoopPool) startFlow(size int) {
 	conn, err := p.mgr.Dial(p.cfg.Iface, packet.Endpoint{Addr: p.cfg.ServerAddr, Port: p.cfg.ServerPort}, p.cfg.Conn)
 	if err != nil {
 		p.failed++
+		p.rec.Emit(p.member, probe.KindFlowDone, -1, -1, flowFailed, 0)
 		p.settle()
 		return
 	}
@@ -200,8 +216,10 @@ func (p *OpenLoopPool) startFlow(size int) {
 			p.completed++
 			p.bytes += uint64(received)
 			p.latency.Record(float64(p.sim.Now()-start)/float64(time.Millisecond), p.sim.Now())
+			p.rec.Emit(p.member, probe.KindFlowDone, -1, -1, flowOK, int64(received))
 		} else {
 			p.failed++
+			p.rec.Emit(p.member, probe.KindFlowDone, -1, -1, flowFailed, int64(received))
 		}
 		p.settle()
 	}
@@ -213,6 +231,7 @@ func (p *OpenLoopPool) startFlow(size int) {
 			settled = true
 			p.inFlight--
 			p.dropped++
+			p.rec.Emit(p.member, probe.KindFlowDone, -1, -1, flowDropped, int64(received))
 			// Abort, not Close: a flow only reaches its deadline because it
 			// has stalled (e.g. a subflow died mid-fetch), and a graceful
 			// DATA_FIN would strand the wedged connection retransmitting long

@@ -23,6 +23,11 @@ func WireLen(s *Segment) int {
 	return headerLen + OptionsWireLen(s.Options) + len(s.Payload)
 }
 
+// WireLen returns the number of bytes Encode will produce for the segment.
+// Method form of the package-level WireLen, for hot-path callers (the
+// observability layer's per-segment byte accounting) that hold a segment.
+func (s *Segment) WireLen() int { return WireLen(s) }
+
 // Encode serializes the segment into the RFC 793 wire format (TCP header,
 // options padded to a 4-byte boundary, payload) and fills in the TCP
 // checksum. Addresses are included via the pseudo-header, matching how the

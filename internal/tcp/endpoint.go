@@ -78,6 +78,9 @@ type Endpoint struct {
 	rto               time.Duration
 	rtoBackoff        int
 	firstUnackedSince time.Duration
+	// ccState is the last congestion phase reported through cfg.Probe; only
+	// maintained when a probe is attached (endpoints start in slow start).
+	ccState CCState
 
 	finQueued bool
 

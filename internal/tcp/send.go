@@ -369,6 +369,7 @@ func (e *Endpoint) onAckAdvance(ack packet.SeqNum, tsSample time.Duration) {
 		e.dupAcks = 0
 		e.ctrl.OnAck(ackedBytes, rttSample)
 	}
+	e.noteCCState()
 
 	// Detect whether our FIN has been acknowledged.
 	if e.finQueued && len(e.retransQ) == 0 && len(e.sendQueue) == 0 {
@@ -404,6 +405,9 @@ func (e *Endpoint) onDupAck() {
 	}
 	if e.dupAcks == 3 && len(e.retransQ) > 0 {
 		e.stats.FastRetransmits++
+		if e.cfg.Probe != nil {
+			e.cfg.Probe.OnEndpointFastRetransmit(e)
+		}
 		e.inRecovery = true
 		e.recoveryEnd = e.sndNxt
 		e.recoveryInfl = 0
@@ -414,6 +418,26 @@ func (e *Endpoint) onDupAck() {
 		}
 		e.recoveryTransmit()
 		e.rtoTimer.Reset(e.backedOffRTO())
+		e.noteCCState()
+	}
+}
+
+// noteCCState reports congestion-phase transitions through the probe. It is
+// a no-op without an attached probe, so untraced endpoints pay one branch.
+func (e *Endpoint) noteCCState() {
+	if e.cfg.Probe == nil {
+		return
+	}
+	st := CCSlowStart
+	switch {
+	case e.inRecovery:
+		st = CCRecovery
+	case !e.ctrl.InSlowStart():
+		st = CCAvoidance
+	}
+	if st != e.ccState {
+		e.ccState = st
+		e.cfg.Probe.OnEndpointCCState(e, st)
 	}
 }
 
@@ -473,6 +497,11 @@ func (e *Endpoint) onRTO() {
 	}
 	e.stats.Timeouts++
 	e.rtoBackoff++
+	if e.cfg.Probe != nil {
+		// Reported before the retry-limit check so the fatal timeout that
+		// kills a subflow is part of its recorded backoff run.
+		e.cfg.Probe.OnEndpointRTO(e, e.rtoBackoff, e.backedOffRTO())
+	}
 	if e.cfg.MaxRTORetries > 0 && e.rtoBackoff > e.cfg.MaxRTORetries {
 		e.teardown(ErrTimeout)
 		return
@@ -485,6 +514,7 @@ func (e *Endpoint) onRTO() {
 	// discarded out-of-order data); start over.
 	e.clearSackState()
 	e.ctrl.OnTimeout()
+	e.noteCCState()
 	e.transmitChunk(e.retransQ[0], true)
 	e.rtoTimer.Reset(e.backedOffRTO())
 }

@@ -130,6 +130,51 @@ type Config struct {
 
 	// TimeWaitDuration is how long the endpoint lingers in TIME_WAIT.
 	TimeWaitDuration time.Duration
+
+	// Probe, when non-nil, receives loss-recovery and congestion-state
+	// telemetry (see ProbeSink). It is set by the observability layer; nil
+	// (the default) keeps every emission site a single branch.
+	Probe ProbeSink
+}
+
+// CCState is the endpoint's coarse congestion phase, derived from the
+// controller and the recovery machinery, for observability.
+type CCState uint8
+
+// Congestion phases.
+const (
+	CCSlowStart CCState = iota
+	CCAvoidance
+	CCRecovery
+)
+
+// String returns the phase name.
+func (s CCState) String() string {
+	switch s {
+	case CCSlowStart:
+		return "slowstart"
+	case CCAvoidance:
+		return "avoidance"
+	case CCRecovery:
+		return "recovery"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeSink receives low-overhead endpoint telemetry when tracing is
+// enabled. Implementations (the MPTCP subflow, which knows its connection
+// and member identity) must be allocation-free: calls happen on the hot
+// path, synchronously on the simulator goroutine.
+type ProbeSink interface {
+	// OnEndpointRTO reports a retransmission timeout: the consecutive
+	// backoff count (1 for the first timeout of a run) and the resulting
+	// backed-off RTO.
+	OnEndpointRTO(e *Endpoint, backoff int, rto time.Duration)
+	// OnEndpointFastRetransmit reports entry into fast retransmit.
+	OnEndpointFastRetransmit(e *Endpoint)
+	// OnEndpointCCState reports a congestion-phase transition.
+	OnEndpointCCState(e *Endpoint, state CCState)
 }
 
 // WithDefaults returns the configuration with unset fields defaulted.
