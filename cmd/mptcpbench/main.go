@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,7 +67,15 @@ func main() {
 	faultSpec := flag.String("faults", "", "fleet-chaos: fault schedule — a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or grammar like 'flap:path=1,period=1s,down=250ms' (see internal/faults)")
 	adversary := flag.String("adversary", "", "fleet-chaos: adversarial middlebox preset: "+strings.Join(middlebox.AdversaryPresetNames(), " | "))
 	sharedLink := flag.String("shared-link", "", "coupled scenarios: the shared bottleneck as [name:]rate[:epoch], e.g. 100mbps, core:1gbps:50ms (fleet-corelink, fleet-cdn, fleet-http)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	switch *format {
 	case "text", "json", "csv":
@@ -197,6 +207,7 @@ var scenarios = []scenarioDef{
 	{"mixed", "MPTCP foreground vs plain-TCP background traffic", runMixedScenario},
 	{"fleet-chaos", "integrity-checked uploads under fault schedules (-faults) and adversarial middleboxes (-adversary)", runChaosScenario},
 	{"trace-overhead", "flight-recorder cost probe: one open-loop run traced and one untraced, results proven identical", runTraceOverheadScenario},
+	{"sched-equivalence", "scheduler pin: wheel vs heap firing-order checksums over deterministic churn workloads", runSchedScenario},
 }
 
 // listScenarios prints the scenario registry, one line per scenario.
@@ -387,6 +398,43 @@ func writeResults(out, format string, results []*experiments.Result) {
 	if err := experiments.WriteResults(w, format, results); err != nil {
 		fail(err)
 	}
+}
+
+// startProfiles arms the -cpuprofile/-memprofile collectors and returns the
+// function that finalizes both; main defers it so any run (experiment or
+// fleet scenario) can be profiled without code edits. Error exits skip the
+// finalizer, which only loses the profile of a failed run.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+	}, nil
 }
 
 func fail(err error) {

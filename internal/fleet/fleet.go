@@ -109,6 +109,9 @@ func (sh *Shard) StepUntil(deadline time.Duration, done func() bool) {
 	s := sh.Sim
 	for !done() && s.Now() < deadline && s.Step() {
 	}
+	// Bring lazily-settled counters (virtual link dequeues) up to the exact
+	// stop point before the caller reads Sim.Processed or link stats.
+	s.Settle()
 }
 
 // plan normalizes a (members, shards) request: shards defaults to one per

@@ -35,6 +35,15 @@ type ServerConfig struct {
 // Server answers requests with the requested number of bytes.
 type Server struct {
 	listener *core.Listener
+	// scratch is the shared request-read buffer: reads are consumed into it
+	// and appended to the per-connection request buffer, so the read loop
+	// does not allocate per call (the server runs on a single-threaded
+	// simulator, so one buffer serves all connections).
+	scratch []byte
+	// chunk is the shared all-zero response body slab. Write copies it into
+	// the send queue, and no handler ever mutates it, so one slab serves
+	// every connection instead of a 32 KiB allocation per accepted flow.
+	chunk []byte
 	// Served counts completed responses.
 	Served uint64
 }
@@ -44,7 +53,7 @@ func StartServer(mgr *core.Manager, cfg ServerConfig) (*Server, error) {
 	if cfg.Port == 0 {
 		cfg.Port = 80
 	}
-	s := &Server{}
+	s := &Server{scratch: make([]byte, 4096), chunk: make([]byte, 32<<10)}
 	l, err := mgr.Listen(cfg.Port, cfg.Conn, func(c *core.Connection) {
 		s.handle(c)
 	})
@@ -59,16 +68,15 @@ func (s *Server) handle(c *core.Connection) {
 	var reqBuf []byte
 	responding := false
 	var remaining int
-	chunk := make([]byte, 32<<10)
 
 	var pumpResponse func()
 	pumpResponse = func() {
 		for remaining > 0 {
-			n := len(chunk)
+			n := len(s.chunk)
 			if n > remaining {
 				n = remaining
 			}
-			w := c.Write(chunk[:n])
+			w := c.Write(s.chunk[:n])
 			if w == 0 {
 				return
 			}
@@ -83,11 +91,11 @@ func (s *Server) handle(c *core.Connection) {
 
 	c.OnReadable = func() {
 		for {
-			data := c.Read(4096)
-			if len(data) == 0 {
+			n := c.ReadInto(s.scratch)
+			if n == 0 {
 				break
 			}
-			reqBuf = append(reqBuf, data...)
+			reqBuf = append(reqBuf, s.scratch[:n]...)
 		}
 		if !responding && len(reqBuf) >= requestSize {
 			size := int(binary.BigEndian.Uint32(reqBuf[0:4]))
@@ -151,6 +159,12 @@ type ClientPool struct {
 	// caller happened to run the simulator afterwards.
 	finishedAt time.Duration
 	doneFired  bool
+
+	// scratch is the shared response-drain buffer: clients only count
+	// received bytes, so the read loop consumes into it without allocating.
+	// Its size matches the old per-call Read cap — read granularity feeds
+	// the receive-window-update heuristic, so it must not change.
+	scratch []byte
 }
 
 // NewClientPool creates a pool bound to the client's manager.
@@ -176,6 +190,7 @@ func NewClientPool(mgr *core.Manager, cfg ClientPoolConfig) (*ClientPool, error)
 		mgr:     mgr,
 		sim:     mgr.Host().Sim(),
 		latency: trace.NewSampler(),
+		scratch: make([]byte, 64<<10),
 	}, nil
 }
 
@@ -243,11 +258,11 @@ func (p *ClientPool) issueRequest() {
 	}
 	conn.OnReadable = func() {
 		for {
-			data := conn.Read(64 << 10)
-			if len(data) == 0 {
+			n := conn.ReadInto(p.scratch)
+			if n == 0 {
 				break
 			}
-			received += len(data)
+			received += n
 		}
 		if conn.EOF() {
 			conn.Close()

@@ -111,6 +111,12 @@ type OpenLoopPool struct {
 	// (nil recorder = no tracing); flow settlements emit KindFlowDone.
 	rec    *probe.Recorder
 	member int
+
+	// scratch is the shared response-drain buffer: flows only count received
+	// bytes, so the read loop consumes into it without allocating. Its size
+	// matches the old per-call Read cap — read granularity feeds the
+	// receive-window-update heuristic, so it must not change.
+	scratch []byte
 }
 
 // NewOpenLoopPool creates a pool bound to the client's manager.
@@ -136,6 +142,7 @@ func NewOpenLoopPool(mgr *core.Manager, cfg OpenLoopConfig) (*OpenLoopPool, erro
 		mgr:     mgr,
 		sim:     mgr.Host().Sim(),
 		latency: trace.NewSampler(),
+		scratch: make([]byte, 64<<10),
 	}
 	p.rec, p.member = mgr.Probe()
 	return p, nil
@@ -249,11 +256,11 @@ func (p *OpenLoopPool) startFlow(size int) {
 	}
 	conn.OnReadable = func() {
 		for {
-			data := conn.Read(64 << 10)
-			if len(data) == 0 {
+			n := conn.ReadInto(p.scratch)
+			if n == 0 {
 				break
 			}
-			received += len(data)
+			received += n
 		}
 		if conn.EOF() {
 			conn.Close()

@@ -54,6 +54,14 @@ type Host struct {
 	conns     map[packet.FourTuple]SegmentHandler
 	listeners map[uint16]ListenHandler
 
+	// lastKey/lastHandler memoize the most recent successful demux. Burst
+	// delivery hands a link's back-to-back segments to the host consecutively,
+	// so a bulk transfer's segments hit the cache and skip the map lookup.
+	// Only positive lookups are cached; Unregister invalidates the entry when
+	// it removes the cached tuple.
+	lastKey     packet.FourTuple
+	lastHandler SegmentHandler
+
 	nextEphemeral uint16
 
 	// CPU, when non-zero, serializes packet processing through a single
@@ -134,7 +142,11 @@ func (h *Host) Register(local, remote packet.Endpoint, handler SegmentHandler) e
 
 // Unregister removes a connection handler.
 func (h *Host) Unregister(local, remote packet.Endpoint) {
-	delete(h.conns, packet.FourTuple{Src: local, Dst: remote})
+	key := packet.FourTuple{Src: local, Dst: remote}
+	if key == h.lastKey {
+		h.lastHandler = nil
+	}
+	delete(h.conns, key)
 }
 
 // Listen installs a SYN handler on the given port.
@@ -169,7 +181,13 @@ func (h *Host) deliver(ingress *Interface, seg *packet.Segment) {
 func (h *Host) dispatch(ingress *Interface, seg *packet.Segment) {
 	h.stats.Delivered++
 	key := packet.FourTuple{Src: seg.Dst, Dst: seg.Src}
+	if h.lastHandler != nil && key == h.lastKey {
+		h.lastHandler.HandleSegment(ingress, seg)
+		seg.Release()
+		return
+	}
 	if handler, ok := h.conns[key]; ok {
+		h.lastKey, h.lastHandler = key, handler
 		handler.HandleSegment(ingress, seg)
 		// The segment has been fully consumed: handlers copy any payload
 		// bytes they keep (receive queues and reassembly buffers own their

@@ -60,8 +60,33 @@ type ReceiverFunc func(seg *packet.Segment)
 // Receive implements Receiver.
 func (f ReceiverFunc) Receive(seg *packet.Segment) { f(seg) }
 
+// txEntry is one in-flight transmission in the link's burst FIFO. The wire
+// size computed at Send time rides along to delivery, and the two sequence
+// numbers pin the entry's virtual dequeue and real delivery to the exact
+// (At, seq) positions the unbatched two-events-per-segment schedule would
+// have used.
+type txEntry struct {
+	seg   *packet.Segment
+	size  int
+	done  time.Duration // serialization completes; bytes leave the queue
+	at    time.Duration // delivery at the far end (done + Delay at Send time)
+	dqSeq uint64        // reserved seq of the elided dequeue event
+	dlSeq uint64        // seq of the delivery event
+}
+
 // Link is a unidirectional FIFO link with a finite drop-tail queue, a
 // serialization rate and a propagation delay.
+//
+// The hot path is burst-mode: instead of scheduling two simulator events per
+// segment (dequeue at serialization completion, delivery after propagation),
+// the link keeps a FIFO of back-to-back transmissions and schedules a single
+// delivery event for the head entry only. Dequeue completions are virtual —
+// their seq is reserved but no event is queued; queue occupancy and the
+// processed-event count are settled lazily, strictly ordered by (time, seq)
+// against the running simulation, so every observable (admission decisions,
+// QueueBytes, Sim.Processed) matches the unbatched schedule bit for bit. The
+// wire times are untouched: busyUntil serialization math is exactly the
+// per-segment computation, only the scheduler round-trips are batched away.
 type Link struct {
 	sim  *sim.Simulator
 	cfg  LinkConfig
@@ -72,13 +97,14 @@ type Link struct {
 	queuedBytes int
 	ordinal     uint64
 
-	// pending carries the wire sizes of queued transmissions to their
-	// dequeue events in FIFO order (serialization completions are scheduled
-	// in monotonically increasing time, so the head always matches the next
-	// firing event). Passing sizes this way lets the per-segment dequeue use
-	// the closure-free ScheduleArgsAt form.
-	pending     []int
-	pendingHead int
+	// fifo holds accepted transmissions in serialization order. head indexes
+	// the next entry to deliver (a delivery event is pending iff
+	// head < len(fifo)); undrained indexes the next entry whose virtual
+	// dequeue has not yet been credited (undrained >= head at event
+	// boundaries: an entry's dequeue is always ordered before its delivery).
+	fifo      []txEntry
+	head      int
+	undrained int
 
 	stats LinkStats
 
@@ -91,7 +117,9 @@ type Link struct {
 
 // NewLink creates a link delivering to dst.
 func NewLink(s *sim.Simulator, name string, cfg LinkConfig, dst Receiver) *Link {
-	return &Link{sim: s, cfg: cfg, dst: dst, name: name}
+	l := &Link{sim: s, cfg: cfg, dst: dst, name: name}
+	s.RegisterSettler(l)
+	return l
 }
 
 // Name returns the link's name.
@@ -111,7 +139,31 @@ func (l *Link) SetReceiver(dst Receiver) { l.dst = dst }
 func (l *Link) Stats() LinkStats { return l.stats }
 
 // QueueBytes returns the current queue occupancy.
-func (l *Link) QueueBytes() int { return l.queuedBytes }
+func (l *Link) QueueBytes() int {
+	l.drainDue()
+	return l.queuedBytes
+}
+
+// drainDue credits every virtual dequeue ordered strictly before the point
+// the simulation has reached, exactly when the elided per-segment dequeue
+// events would have fired.
+func (l *Link) drainDue() { l.SettleAt(l.sim.Now(), l.sim.RunningSeq()) }
+
+// SettleAt implements sim.Settler: (now, seq) is the exclusive upper bound of
+// event execution, and every virtual dequeue with (done, dqSeq) strictly
+// before it fires now — releasing its bytes from the queue and crediting the
+// event it replaced to the simulator's processed count.
+func (l *Link) SettleAt(now time.Duration, seq uint64) {
+	for l.undrained < len(l.fifo) {
+		e := &l.fifo[l.undrained]
+		if e.done > now || (e.done == now && e.dqSeq >= seq) {
+			break
+		}
+		l.queuedBytes -= e.size
+		l.undrained++
+		l.sim.Processed++
+	}
+}
 
 // wireSize returns the number of bytes the segment occupies on the wire.
 func wireSize(seg *packet.Segment) int {
@@ -126,6 +178,7 @@ func (l *Link) Send(seg *packet.Segment) {
 		seg.Release()
 		return
 	}
+	l.drainDue() // queue occupancy must be current for the admission check
 	size := wireSize(seg)
 	l.stats.OfferedBytes += uint64(size)
 
@@ -170,38 +223,56 @@ func (l *Link) Send(seg *packet.Segment) {
 	done := start + txTime
 	l.busyUntil = done
 
-	// Both per-segment events go through shared top-level functions so that
-	// neither allocates a closure; the dequeue event pops its size from the
-	// link's pending FIFO.
-	l.pending = append(l.pending, size)
-	l.sim.ScheduleArgsAt(done, dequeueSegment, l, nil)
-	l.sim.ScheduleArgsAt(done+l.cfg.Delay, deliverSegment, l, seg)
-}
-
-// dequeueSegment fires when a transmission's serialization completes: the
-// segment's bytes leave the link queue.
-func dequeueSegment(a, _ any) {
-	l := a.(*Link)
-	l.queuedBytes -= l.pending[l.pendingHead]
-	l.pendingHead++
-	if l.pendingHead == len(l.pending) {
-		l.pending = l.pending[:0]
-		l.pendingHead = 0
-	} else if l.pendingHead >= 1024 && l.pendingHead*2 >= len(l.pending) {
-		// A continuously-busy link never fully drains; compact the consumed
-		// prefix so the FIFO stays bounded by the in-queue segment count.
-		n := copy(l.pending, l.pending[l.pendingHead:])
-		l.pending = l.pending[:n]
-		l.pendingHead = 0
+	// Reserve the seqs the unbatched schedule would have consumed (dequeue
+	// first, then delivery), append to the burst FIFO, and arm the delivery
+	// pump only when it is idle — one scheduler insertion replaces two, and
+	// the closure-free ScheduleArgsAt form is kept.
+	dqSeq := l.sim.ReserveSeq()
+	dlSeq := l.sim.ReserveSeq()
+	l.fifo = append(l.fifo, txEntry{
+		seg: seg, size: size,
+		done: done, at: done + l.cfg.Delay,
+		dqSeq: dqSeq, dlSeq: dlSeq,
+	})
+	if l.head == len(l.fifo)-1 {
+		l.sim.ScheduleArgsAtSeq(done+l.cfg.Delay, dlSeq, deliverBurst, l, nil)
 	}
 }
 
-// deliverSegment completes a transmission: it is the ScheduleArgsAt callback
-// shared by all links.
-func deliverSegment(a, b any) {
+// deliverBurst fires at the head entry's delivery time with its reserved seq:
+// it completes that transmission and re-arms for the next FIFO entry at its
+// own pre-reserved (at, seq), so the interleaving with every other simulator
+// event is identical to the unbatched per-segment schedule.
+func deliverBurst(a, _ any) {
 	l := a.(*Link)
-	seg := b.(*packet.Segment)
-	l.stats.DeliveredBytes += uint64(wireSize(seg))
+	e := &l.fifo[l.head]
+	l.drainDue() // the entry's own virtual dequeue is always ordered first
+	l.stats.DeliveredBytes += uint64(e.size)
+	seg := e.seg
+	e.seg = nil
+	l.head++
+	if l.head < len(l.fifo) {
+		if l.head >= 1024 && l.head*2 >= len(l.fifo) {
+			// A continuously-busy link never fully drains; compact the
+			// delivered prefix so the FIFO stays bounded by the in-flight
+			// segment count.
+			n := copy(l.fifo, l.fifo[l.head:])
+			clearTail := l.fifo[n:]
+			for i := range clearTail {
+				clearTail[i] = txEntry{}
+			}
+			l.fifo = l.fifo[:n]
+			l.undrained -= l.head
+			l.head = 0
+		}
+		next := &l.fifo[l.head]
+		l.sim.ScheduleArgsAtSeq(next.at, next.dlSeq, deliverBurst, l, nil)
+	} else {
+		// Fully delivered implies fully drained: each delivery settles its
+		// own dequeue first, so both cursors sit at len(fifo).
+		l.fifo = l.fifo[:0]
+		l.head, l.undrained = 0, 0
+	}
 	l.dst.Receive(seg)
 }
 

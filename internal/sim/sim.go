@@ -9,10 +9,19 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
+)
+
+// Event locations. An event lives in exactly one scheduler container at a
+// time; locNone means "not queued" (fired, canceled, or on the free list).
+const (
+	locNone uint8 = iota
+	locHeap
+	locNear
+	locSlot
+	locOverflow
 )
 
 // Event is a scheduled callback.
@@ -28,41 +37,172 @@ type Event struct {
 	a, b any
 
 	seq      uint64 // tie-breaker for deterministic ordering
-	index    int    // heap index, -1 when not queued
+	index    int    // position in the containing heap or slot chain
+	where    uint8  // which scheduler container holds the event
+	level    uint8  // wheel level, valid when where == locSlot
+	slot     uint8  // wheel slot, valid when where == locSlot
 	canceled bool
 }
 
 // Canceled reports whether the event has been canceled.
 func (e *Event) Canceled() bool { return e == nil || e.canceled }
 
-// eventQueue is a min-heap ordered by (At, seq).
+// eventQueue is a min-heap ordered by (At, seq). The sift operations are
+// hand-rolled rather than going through container/heap so the per-event hot
+// path pays no interface dispatch or any-boxing; the algorithm is the
+// standard binary heap, and since (At, seq) is a strict total order the pop
+// sequence is identical to container/heap's regardless of internal layout.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].At != q[j].At {
 		return q[i].At < q[j].At
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
+
+func (q eventQueue) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		j = i
+	}
+}
+
+func (q eventQueue) down(i0 int) bool {
+	n := len(q)
+	i := i0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q.less(j2, j) {
+			j = j2
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (q *eventQueue) push(ev *Event) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	(*q).up(ev.index)
 }
-func (q *eventQueue) Pop() any {
+
+// popMin removes and returns the (At, seq)-minimum. Callable only when the
+// queue is non-empty.
+func (q *eventQueue) popMin() *Event {
 	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	min := old[0]
+	if n > 0 {
+		old.swap(0, n)
+	}
+	old[n] = nil
+	*q = old[:n]
+	(*q).down(0)
+	min.index = -1
+	return min
+}
+
+// removeAt deletes the event at heap index i.
+func (q *eventQueue) removeAt(i int) {
+	old := *q
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*q = old[:n]
+	if i != n {
+		if !(*q).down(i) {
+			(*q).up(i)
+		}
+	}
 	ev.index = -1
-	*q = old[:n-1]
+}
+
+// scheduler is the pending-event container behind the simulator. Both
+// implementations (binary heap, hierarchical timing wheel) release events in
+// exactly the same (At, seq) order, so swapping one for the other cannot
+// change a trace; FuzzSchedulerEquivalence holds them to that contract.
+type scheduler interface {
+	insert(ev *Event) // enqueue; sets ev.where
+	remove(ev *Event) // dequeue a pending event; clears ev.where
+	pop() *Event      // extract the (At, seq)-minimum, nil when empty
+	peek() *Event     // minimum without extracting, nil when empty
+	size() int        // queued events
+}
+
+// heapSched is the classic binary-heap scheduler: O(log n) everywhere.
+// It remains available (SchedulerHeap) as the differential-testing reference
+// for the timing wheel.
+type heapSched struct {
+	q eventQueue
+}
+
+func (h *heapSched) insert(ev *Event) {
+	ev.where = locHeap
+	h.q.push(ev)
+}
+
+func (h *heapSched) remove(ev *Event) {
+	h.q.removeAt(ev.index)
+	ev.where = locNone
+}
+
+func (h *heapSched) pop() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	ev := h.q.popMin()
+	ev.where = locNone
 	return ev
+}
+
+func (h *heapSched) peek() *Event {
+	if len(h.q) == 0 {
+		return nil
+	}
+	return h.q[0]
+}
+
+func (h *heapSched) size() int { return len(h.q) }
+
+// SchedulerKind selects the pending-event container for a Simulator.
+type SchedulerKind uint8
+
+const (
+	// SchedulerWheel is the default: a hierarchical timing wheel with O(1)
+	// schedule/cancel in the timer-dominated steady state (see wheel.go).
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the binary-heap reference implementation.
+	SchedulerHeap
+)
+
+// Settler is a component that defers bookkeeping for elided (virtual) events
+// and must be given a chance to catch up whenever simulation results are
+// about to be observed. The (now, seq) pair is the exclusive upper bound of
+// event execution so far: implementations must account for every virtual
+// event strictly ordered before it, exactly as if the event had been queued.
+type Settler interface {
+	SettleAt(now time.Duration, seq uint64)
 }
 
 // Simulator is a single-threaded discrete-event simulator. It is not safe for
@@ -70,9 +210,17 @@ func (q *eventQueue) Pop() any {
 // loop.
 type Simulator struct {
 	now     time.Duration
-	queue   eventQueue
+	sched   scheduler
 	nextSeq uint64
 	rng     *RNG
+
+	// runningSeq is the seq of the event currently (or most recently)
+	// executed. Together with now it defines the exact point the simulation
+	// has reached in (At, seq) order, which is what lazy batchers compare
+	// against when draining virtual events.
+	runningSeq uint64
+
+	settlers []Settler
 
 	// free recycles Event structs: the simulator allocates several events
 	// per emulated segment (transmission, delivery, timers), so reusing them
@@ -83,7 +231,9 @@ type Simulator struct {
 	free []*Event
 
 	// Processed counts events executed so far, useful for run-away detection
-	// in tests.
+	// in tests. Virtual events elided by batching layers (netem.Link's
+	// dequeue completions) are credited here when they are drained, so the
+	// total matches what the unbatched schedule would have reported.
 	Processed uint64
 
 	// MaxEvents aborts Run with an error when more than this many events have
@@ -92,9 +242,22 @@ type Simulator struct {
 }
 
 // New returns a simulator with its clock at zero and a deterministic RNG
-// seeded with seed.
+// seeded with seed, using the timing-wheel scheduler.
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+	return NewWithScheduler(seed, SchedulerWheel)
+}
+
+// NewWithScheduler returns a simulator backed by the requested scheduler
+// implementation. Both kinds fire events in identical (At, seq) order; the
+// heap exists as a reference for differential tests and benchmarks.
+func NewWithScheduler(seed uint64, kind SchedulerKind) *Simulator {
+	s := &Simulator{rng: NewRNG(seed)}
+	if kind == SchedulerHeap {
+		s.sched = &heapSched{}
+	} else {
+		s.sched = newWheelSched()
+	}
+	return s
 }
 
 // Now returns the current simulation time.
@@ -122,16 +285,10 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
 	if at < s.now {
 		at = s.now
 	}
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free = s.free[:n-1]
-		*ev = Event{At: at, Fn: fn, seq: s.nextSeq}
-	} else {
-		ev = &Event{At: at, Fn: fn, seq: s.nextSeq}
-	}
+	ev := s.newEvent()
+	ev.At, ev.Fn, ev.seq = at, fn, s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
+	s.sched.insert(ev)
 	return ev
 }
 
@@ -146,45 +303,105 @@ func (s *Simulator) ScheduleArgsAt(at time.Duration, fn func(a, b any), a, b any
 	if at < s.now {
 		at = s.now
 	}
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free = s.free[:n-1]
-		*ev = Event{At: at, fn2: fn, a: a, b: b, seq: s.nextSeq}
-	} else {
-		ev = &Event{At: at, fn2: fn, a: a, b: b, seq: s.nextSeq}
-	}
+	ev := s.newEvent()
+	ev.At, ev.fn2, ev.a, ev.b, ev.seq = at, fn, a, b, s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
+	s.sched.insert(ev)
 	return ev
+}
+
+// ReserveSeq consumes and returns the next event sequence number without
+// scheduling anything. Batching layers that elide per-packet events use it to
+// keep the (At, seq) order of the remaining events exactly as if the elided
+// ones had been queued: the reserved seq stands in for the virtual event and
+// can later be attached to a real event via ScheduleArgsAtSeq.
+func (s *Simulator) ReserveSeq() uint64 {
+	v := s.nextSeq
+	s.nextSeq++
+	return v
+}
+
+// RunningSeq returns the sequence number of the event currently (or most
+// recently) executed. Paired with Now it identifies the exact position in
+// (At, seq) order the simulation has reached; lazy batchers compare their
+// virtual events against it when draining.
+func (s *Simulator) RunningSeq() uint64 { return s.runningSeq }
+
+// ScheduleArgsAtSeq schedules fn(a, b) at absolute time at using a sequence
+// number previously obtained from ReserveSeq. The caller must pass each
+// reserved seq to at most one schedule call; replay-exact batching depends on
+// the (at, seq) pair matching what the unbatched schedule would have used.
+func (s *Simulator) ScheduleArgsAtSeq(at time.Duration, seq uint64, fn func(a, b any), a, b any) *Event {
+	if fn == nil {
+		panic("sim: ScheduleArgsAtSeq with nil fn")
+	}
+	if seq >= s.nextSeq {
+		panic("sim: ScheduleArgsAtSeq with unreserved seq")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := s.newEvent()
+	ev.At, ev.fn2, ev.a, ev.b, ev.seq = at, fn, a, b, seq
+	s.sched.insert(ev)
+	return ev
+}
+
+func (s *Simulator) newEvent() *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		*ev = Event{}
+		return ev
+	}
+	return &Event{}
 }
 
 // Cancel removes a previously scheduled event. Canceling a nil, fired or
 // already-canceled event is a no-op.
 func (s *Simulator) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if ev == nil || ev.canceled || ev.where == locNone {
 		if ev != nil {
 			ev.canceled = true
 		}
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&s.queue, ev.index)
-	ev.index = -1
+	s.sched.remove(ev)
 	ev.Fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
 	s.free = append(s.free, ev)
 }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.sched.size() }
+
+// RegisterSettler adds a settle hook invoked whenever a run boundary is
+// reached (Run/RunUntil return) or Settle is called explicitly. Hooks must be
+// idempotent and must not schedule events.
+func (s *Simulator) RegisterSettler(st Settler) {
+	s.settlers = append(s.settlers, st)
+}
+
+// Settle brings all registered settle hooks up to date with the current
+// execution point. Drivers that advance the simulator via Step (rather than
+// Run/RunUntil) must call it before reading results that depend on event
+// counts or queue occupancy.
+func (s *Simulator) Settle() { s.settleAll(s.now, s.runningSeq) }
+
+func (s *Simulator) settleAll(now time.Duration, seq uint64) {
+	for _, st := range s.settlers {
+		st.SettleAt(now, seq)
+	}
+}
 
 // step executes the earliest event. It returns false when the queue is empty.
 func (s *Simulator) step() bool {
-	if len(s.queue) == 0 {
+	ev := s.sched.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*Event)
 	s.now = ev.At
+	s.runningSeq = ev.seq
 	s.Processed++
 	fn, fn2, a, b := ev.Fn, ev.fn2, ev.a, ev.b
 	ev.Fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
@@ -210,26 +427,32 @@ func (s *Simulator) Step() bool { return s.step() }
 func (s *Simulator) Run() error {
 	for s.step() {
 		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			s.settleAll(s.now, s.runningSeq)
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
 		}
 	}
+	s.settleAll(s.now, ^uint64(0))
 	return nil
 }
 
 // RunUntil executes events with firing times <= deadline. Events scheduled
 // beyond the deadline remain queued; the clock is advanced to the deadline.
 func (s *Simulator) RunUntil(deadline time.Duration) error {
-	for len(s.queue) > 0 && s.queue[0].At <= deadline {
-		if !s.step() {
+	for {
+		ev := s.sched.peek()
+		if ev == nil || ev.At > deadline {
 			break
 		}
+		s.step()
 		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			s.settleAll(s.now, s.runningSeq)
 			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", s.MaxEvents, s.now)
 		}
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
+	s.settleAll(s.now, ^uint64(0))
 	return nil
 }
 
@@ -258,10 +481,23 @@ func (s *Simulator) NewTimer(fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire after d. Any previously pending expiry is
-// canceled.
+// canceled. A pending timer re-arms in place: the event is unlinked, stamped
+// with a fresh (At, seq) and reinserted, skipping the cancel/free/alloc round
+// trip — with the wheel scheduler this is the O(1) per-ACK RTO path.
 func (t *Timer) Reset(d time.Duration) {
-	t.Stop()
-	t.ev = t.sim.Schedule(d, t.fireFn)
+	if d < 0 {
+		d = 0
+	}
+	s := t.sim
+	if ev := t.ev; ev != nil && !ev.canceled && ev.where != locNone {
+		s.sched.remove(ev)
+		ev.At = s.now + d
+		ev.seq = s.nextSeq
+		s.nextSeq++
+		s.sched.insert(ev)
+		return
+	}
+	t.ev = s.Schedule(d, t.fireFn)
 }
 
 // ResetIfStopped arms the timer only if it is not already pending.
