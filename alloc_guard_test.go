@@ -12,6 +12,7 @@ import (
 	"mptcpgo/internal/pool"
 	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 )
 
 // Allocation-regression guards: the pooled hot paths introduced for the
@@ -147,8 +148,10 @@ func TestChecksumMatchesReference(t *testing.T) {
 // write→deliver→read cycle over a symmetric 100 Mbps path. When traced is
 // true a flight recorder is attached to the client stack first (events only —
 // no sampler — so the cycle exercises the Emit/Count hot path, not the
-// time-series machinery).
-func sendPathCycleAllocs(t *testing.T, traced bool) float64 {
+// time-series machinery). When telem is true each cycle also performs one
+// telemetry publish — the shard-cell atomic stores plus one latency histogram
+// observation — mirroring what an attached plane costs the fleet step loop.
+func sendPathCycleAllocs(t *testing.T, traced, telem bool) float64 {
 	t.Helper()
 	s := sim.New(7)
 	net := netem.Build(s, netem.Symmetric("p", netem.Mbps(100), time.Millisecond, 0, 0))
@@ -180,6 +183,15 @@ func sendPathCycleAllocs(t *testing.T, traced bool) float64 {
 		t.Fatal("connection did not establish")
 	}
 
+	var cell *telemetry.ShardCell
+	var hist *telemetry.Histogram
+	if telem {
+		plane := telemetry.New("alloc-guard")
+		cell = plane.Track.Cell(0, 1)
+		hist = telemetry.NewLatencyHistogram()
+		hist.Observe(1) // touch min/max once so Observe runs its full path
+	}
+
 	payload := make([]byte, 1460)
 	readBuf := make([]byte, 4096)
 	cycle := func() {
@@ -196,6 +208,12 @@ func sendPathCycleAllocs(t *testing.T, traced bool) float64 {
 			if serverConn.ReadInto(readBuf) == 0 {
 				break
 			}
+		}
+		if cell != nil {
+			cell.SimNowNs.Store(int64(s.Now()))
+			cell.Events.Store(s.Processed)
+			cell.Segments.Add(1)
+			hist.Observe(float64(s.Now()) / float64(time.Millisecond))
 		}
 	}
 	for i := 0; i < 64; i++ {
@@ -218,7 +236,7 @@ func sendPathCycleAllocs(t *testing.T, traced bool) float64 {
 // nil-receiver (or nil-config) branch, so tracing-disabled stays under the
 // same budget it had before the instrumentation existed.
 func TestSendPathSteadyStateAllocs(t *testing.T) {
-	avg := sendPathCycleAllocs(t, false)
+	avg := sendPathCycleAllocs(t, false, false)
 	if avg >= 4 {
 		t.Fatalf("steady-state send cycle allocates %.2f allocs/op; want < 4", avg)
 	}
@@ -229,9 +247,20 @@ func TestSendPathSteadyStateAllocs(t *testing.T) {
 // per-member ring and counter set, so the traced steady-state cycle must meet
 // the same < 4 allocs/op budget as the untraced one.
 func TestSendPathTracedSteadyStateAllocs(t *testing.T) {
-	avg := sendPathCycleAllocs(t, true)
+	avg := sendPathCycleAllocs(t, true, false)
 	if avg >= 4 {
 		t.Fatalf("traced steady-state send cycle allocates %.2f allocs/op; want < 4 (recorder storage is preallocated)", avg)
+	}
+}
+
+// TestSendPathTelemetrySteadyStateAllocs pins the telemetry plane's hot-path
+// budget: a shard-cell publish is a handful of atomic stores and a histogram
+// observation is a binary search plus an atomic-free bucket increment, so the
+// instrumented cycle must meet the same < 4 allocs/op budget as the bare one.
+func TestSendPathTelemetrySteadyStateAllocs(t *testing.T) {
+	avg := sendPathCycleAllocs(t, false, true)
+	if avg >= 4 {
+		t.Fatalf("telemetry steady-state send cycle allocates %.2f allocs/op; want < 4 (cells and buckets are preallocated)", avg)
 	}
 }
 

@@ -99,6 +99,14 @@ func (c *Chaos) Trace(dir string, probeInterval time.Duration) *Chaos {
 	return c
 }
 
+// Telemetry attaches a metrics plane to the run: live per-shard progress and
+// phase profiling flow into it while the fleet executes. Attachment never
+// changes the merged result.
+func (c *Chaos) Telemetry(t *Telemetry) *Chaos {
+	c.spec.Telemetry = planeOf(t)
+	return c
+}
+
 // Label overrides the result title.
 func (c *Chaos) Label(s string) *Chaos { c.spec.Label = s; return c }
 

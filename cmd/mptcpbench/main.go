@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"mptcpgo/internal/fleet"
 	"mptcpgo/internal/middlebox"
 	"mptcpgo/internal/netem"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/workload"
 )
 
@@ -67,6 +69,10 @@ func main() {
 	faultSpec := flag.String("faults", "", "fleet-chaos: fault schedule — a preset name ("+strings.Join(faults.PresetNames(), ", ")+") or grammar like 'flap:path=1,period=1s,down=250ms' (see internal/faults)")
 	adversary := flag.String("adversary", "", "fleet-chaos: adversarial middlebox preset: "+strings.Join(middlebox.AdversaryPresetNames(), " | "))
 	sharedLink := flag.String("shared-link", "", "coupled scenarios: the shared bottleneck as [name:]rate[:epoch], e.g. 100mbps, core:1gbps:50ms (fleet-corelink, fleet-cdn, fleet-http)")
+	progress := flag.Bool("progress", false, "fleet scenarios: print a live status line to stderr every second (telemetry never changes results)")
+	progressInterval := flag.Duration("progress-interval", time.Second, "cadence of -progress status lines")
+	metricsAddr := flag.String("metrics-addr", "", "fleet scenarios: serve Prometheus /metrics and expvar /debug/vars on this address during the run, e.g. 127.0.0.1:9090")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after the run finishes, for scrapers that poll")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
@@ -97,12 +103,26 @@ func main() {
 		if *paperEra {
 			fail(fmt.Errorf("-paper-era-cpu does not apply to fleet scenarios"))
 		}
+		// The telemetry plane rides beside the deterministic core: it feeds
+		// -progress, -metrics-addr and the runinfo sidecar, and attaching it
+		// never changes the merged result (TestTelemetryChangesNothing). It is
+		// built whenever anything can observe it.
+		var plane *telemetry.Plane
+		if *progress || *metricsAddr != "" || *out != "" || *traceDir != "" {
+			plane = telemetry.New(*scenario)
+		}
+		info := telemetry.CollectRunInfo(*scenario, *seed, *quick)
+		flag.Visit(func(f *flag.Flag) { info.SetFlag(f.Name, f.Value.String()) })
 		o := scenarioOptions{
 			seed: *seed, members: *clients, shards: *shards, workers: *workers,
 			quick: *quick, pcapDir: *pcapDir,
 			trace: experiments.TraceSpec{Dir: *traceDir, ProbeInterval: *probeInterval},
 			rate:  *rate, window: *duration, sizeDist: *sizeDist, arrival: *arrival,
 			faults: *faultSpec, adversary: *adversary,
+			telem: plane,
+		}
+		if *traceDir != "" {
+			o.trace.RunInfo = info
 		}
 		if *sharedLink != "" {
 			l, err := capacity.ParseSharedLink(*sharedLink)
@@ -111,15 +131,53 @@ func main() {
 			}
 			o.shared = &l
 		}
+		var srv *telemetry.Server
+		if *metricsAddr != "" {
+			s, err := telemetry.Serve(*metricsAddr, plane)
+			if err != nil {
+				fail(err)
+			}
+			srv = s
+			fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (Prometheus text) and /debug/vars (expvar)\n", srv.Addr())
+		}
+		prog := (*telemetry.Progress)(nil)
+		if *progress {
+			prog = telemetry.StartProgress(os.Stderr, plane, *progressInterval)
+		}
 		res, elapsed, err := runScenario(*scenario, o)
+		prog.Stop()
 		if err != nil {
 			fail(err)
 		}
 		// The merged result is byte-comparable across runs and worker counts,
 		// so wall-clock goes to stderr rather than into the encoded output.
 		fmt.Fprintf(os.Stderr, "%s: %v wall-clock\n", res.ID, elapsed.Round(time.Millisecond))
+		encodeSpan := plane.StartSpan("encode")
 		writeResults(*out, *format, []*experiments.Result{res})
+		encodeSpan.End()
+		info.Finish(plane, elapsed)
+		if *out != "" {
+			// Provenance sidecar next to the encoded output: config plus the
+			// machine-dependent wall-clock/phase/latency summary. Named
+			// <out-minus-ext>-runinfo.json so BENCH freshness gates (which
+			// compare the deterministic output file) never see it.
+			side := strings.TrimSuffix(*out, filepath.Ext(*out)) + "-runinfo.json"
+			if err := info.WriteFile(side); err != nil {
+				fail(err)
+			}
+		}
+		if srv != nil {
+			if *metricsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "metrics: lingering %v for scrapers\n", *metricsLinger)
+				time.Sleep(*metricsLinger)
+			}
+			srv.Close()
+		}
 		return
+	}
+
+	if *progress || *metricsAddr != "" {
+		fail(fmt.Errorf("-progress and -metrics-addr instrument fleet scenarios; use them with -scenario"))
 	}
 
 	if *list || *run == "" {
@@ -153,6 +211,9 @@ func main() {
 	if strings.EqualFold(*run, "all") {
 		ids = experiments.IDs()
 	}
+	info := telemetry.CollectRunInfo(*run, *seed, *quick)
+	flag.Visit(func(f *flag.Flag) { info.SetFlag(f.Name, f.Value.String()) })
+	start := time.Now()
 	results := make([]*experiments.Result, 0, len(ids))
 	for _, id := range ids {
 		res, err := experiments.Run(id, opts...)
@@ -161,7 +222,15 @@ func main() {
 		}
 		results = append(results, res)
 	}
+	elapsed := time.Since(start)
 	writeResults(*out, *format, results)
+	if *out != "" {
+		info.Finish(nil, elapsed)
+		side := strings.TrimSuffix(*out, filepath.Ext(*out)) + "-runinfo.json"
+		if err := info.WriteFile(side); err != nil {
+			fail(err)
+		}
+	}
 }
 
 // scenarioOptions carries the CLI sizing for one fleet scenario run.
@@ -172,6 +241,9 @@ type scenarioOptions struct {
 	quick           bool
 	pcapDir         string
 	trace           experiments.TraceSpec
+	// telem is the run's telemetry plane (nil = detached); scenarios that
+	// support instrumentation pass it into their fleet spec.
+	telem *telemetry.Plane
 
 	// open-loop scenarios (fleet-openloop, fleet-corelink) only.
 	rate     float64
@@ -247,6 +319,7 @@ func runHTTPScenario(o scenarioOptions) (*experiments.Result, error) {
 	spec.Shards, spec.Workers, spec.Quick, spec.PcapDir = o.shards, o.workers, o.quick, o.pcapDir
 	spec.Shared = o.shared
 	spec.Trace = o.trace
+	spec.Telemetry = o.telem
 	return fleet.RunHTTP(spec)
 }
 
@@ -277,7 +350,7 @@ func openLoopSpecFrom(o scenarioOptions) (fleet.OpenLoopSpec, error) {
 	return fleet.OpenLoopSpec{
 		Seed: o.seed, Hosts: hosts, Arrival: arrival, Sizes: sizes, Window: window,
 		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
-		Trace: o.trace,
+		Trace: o.trace, Telemetry: o.telem,
 	}, nil
 }
 
@@ -380,7 +453,7 @@ func runChaosScenario(o scenarioOptions) (*experiments.Result, error) {
 	return fleet.RunChaos(fleet.ChaosSpec{
 		Seed: o.seed, Members: n, Faults: spec, Adversary: o.adversary,
 		Shards: o.shards, Workers: o.workers, Quick: o.quick, PcapDir: o.pcapDir,
-		Trace: o.trace,
+		Trace: o.trace, Telemetry: o.telem,
 	})
 }
 

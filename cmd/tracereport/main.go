@@ -8,10 +8,12 @@
 //
 //	tracereport traces/                       # every *-events.jsonl inside
 //	tracereport traces/fleet-chaos-events.jsonl
+//	tracereport -format json traces/          # machine-readable summary
 //	tracereport -require-events traces/       # exit 1 if any file is empty (CI)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 )
 
 func main() {
+	format := flag.String("format", "text", "output format: text | json")
 	width := flag.Int("width", 64, "cwnd timeline width in columns")
 	top := flag.Int("top", 8, "maximum subflow timelines to render (busiest first)")
 	noTimeline := flag.Bool("no-timeline", false, "skip the per-subflow cwnd timelines")
@@ -35,6 +38,9 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "json" {
+		fail(fmt.Errorf("unknown output format %q (want text or json)", *format))
+	}
 
 	files, err := collectFiles(flag.Args())
 	if err != nil {
@@ -45,22 +51,135 @@ func main() {
 	}
 
 	empty := 0
-	for i, path := range files {
-		if i > 0 {
-			fmt.Println()
+	if *format == "json" {
+		reports := make([]fileReport, 0, len(files))
+		for _, path := range files {
+			r, err := buildReport(path)
+			if err != nil {
+				fail(err)
+			}
+			if r.Events == 0 {
+				empty++
+			}
+			reports = append(reports, r)
 		}
-		n, err := report(path, *width, *top, !*noTimeline)
-		if err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
 			fail(err)
 		}
-		if n == 0 {
-			empty++
+	} else {
+		for i, path := range files {
+			if i > 0 {
+				fmt.Println()
+			}
+			n, err := report(path, *width, *top, !*noTimeline)
+			if err != nil {
+				fail(err)
+			}
+			if n == 0 {
+				empty++
+			}
 		}
 	}
 	if *requireEvents && empty > 0 {
 		fmt.Fprintf(os.Stderr, "tracereport: %d of %d event files are empty\n", empty, len(files))
 		os.Exit(1)
 	}
+}
+
+// fileReport is the -format json summary of one events file: the same kind
+// tally, stall attribution and drain-tail breakdown the text report renders,
+// minus the timelines (which are a terminal visualisation, not data).
+type fileReport struct {
+	File          string            `json:"file"`
+	Events        int               `json:"events"`
+	Members       int               `json:"members"`
+	FirstNs       int64             `json:"first_ns"`
+	LastNs        int64             `json:"last_ns"`
+	Kinds         map[string]uint64 `json:"kinds,omitempty"`
+	StallEpisodes int               `json:"stall_episodes"`
+	Stalls        []stallReport     `json:"stalls,omitempty"`
+	DrainTailNs   int64             `json:"drain_tail_ns"`
+	DrainTails    []tailReport      `json:"drain_tails,omitempty"`
+}
+
+type stallReport struct {
+	AtNs       int64  `json:"at_ns"`
+	Member     int32  `json:"member"`
+	EntryBytes int64  `json:"entry_bytes"`
+	Cause      string `json:"cause"`
+}
+
+type tailReport struct {
+	Member    int32 `json:"member"`
+	Conn      int32 `json:"conn"`
+	Subflow   int32 `json:"subflow"`
+	Count     int   `json:"count"`
+	StartNs   int64 `json:"start_ns"`
+	LastNs    int64 `json:"last_ns"`
+	LastRTONs int64 `json:"last_rto_ns"`
+	TailNs    int64 `json:"tail_ns"`
+}
+
+// buildReport parses one events file into its machine-readable summary.
+func buildReport(path string) (fileReport, error) {
+	r := fileReport{File: filepath.Base(path)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	events, err := probe.ParseJSONL(data)
+	if err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	r.Events = len(events)
+	if len(events) == 0 {
+		return r, nil
+	}
+	first, last := events[0].At, events[0].At
+	memberSet := map[int32]bool{}
+	for _, e := range events {
+		if e.At < first {
+			first = e.At
+		}
+		if e.At > last {
+			last = e.At
+		}
+		memberSet[e.Member] = true
+	}
+	r.Members = len(memberSet)
+	r.FirstNs, r.LastNs = int64(first), int64(last)
+
+	r.Kinds = map[string]uint64{}
+	for k, n := range probe.CountKinds(events) {
+		if n > 0 {
+			r.Kinds[probe.Kind(k).String()] = n
+		}
+	}
+
+	r.StallEpisodes = probe.StallEpisodes(events)
+	for i, e := range events {
+		if e.Kind != probe.KindStall {
+			continue
+		}
+		r.Stalls = append(r.Stalls, stallReport{
+			AtNs: int64(e.At), Member: e.Member, EntryBytes: e.A,
+			Cause: stallCause(events, i),
+		})
+	}
+
+	r.DrainTailNs = int64(probe.DrainTail(events))
+	tails := probe.DrainTails(events)
+	sort.SliceStable(tails, func(i, j int) bool { return tails[i].Tail() > tails[j].Tail() })
+	for _, t := range tails {
+		r.DrainTails = append(r.DrainTails, tailReport{
+			Member: t.Member, Conn: t.Conn, Subflow: t.Subflow, Count: t.Count,
+			StartNs: int64(t.Start), LastNs: int64(t.Last),
+			LastRTONs: int64(t.LastRTO), TailNs: int64(t.Tail()),
+		})
+	}
+	return r, nil
 }
 
 // collectFiles expands each argument: a directory yields every
@@ -138,45 +257,50 @@ func reportKinds(events []probe.Event) {
 // reportStalls lists watchdog stall-entry events and attributes each to the
 // most recent preceding fault, RTO or subflow death on the same member.
 func reportStalls(events []probe.Event) {
-	const lookback = 10 * time.Second
 	n := probe.StallEpisodes(events)
 	fmt.Printf("stall episodes: %d\n", n)
 	for i, e := range events {
 		if e.Kind != probe.KindStall {
 			continue
 		}
-		cause := "no prior fault/RTO on this member within 10s"
-		for j := i - 1; j >= 0; j-- {
-			p := events[j]
-			if p.Member != e.Member || e.At-p.At > lookback {
-				// Events are time-ordered per member, so once the window is
-				// exceeded for this member nothing earlier can qualify.
-				if p.Member == e.Member {
-					break
-				}
-				continue
-			}
-			switch p.Kind {
-			case probe.KindFaultAction:
-				cause = fmt.Sprintf("fault %s path=%d at %s (-%s)",
-					probe.FaultName(p.A), p.B, fmtT(p.At), fmtT(e.At-p.At))
-			case probe.KindRTO:
-				cause = fmt.Sprintf("rto x%d (backed-off %s) on conn=%d sf=%d at %s (-%s)",
-					p.A, time.Duration(p.B), p.Conn, p.Subflow, fmtT(p.At), fmtT(e.At-p.At))
-			case probe.KindSubflowFailed:
-				cause = fmt.Sprintf("subflow death conn=%d sf=%d at %s (-%s)",
-					p.Conn, p.Subflow, fmtT(p.At), fmtT(e.At-p.At))
-			case probe.KindAddrRemoved:
-				cause = fmt.Sprintf("REMOVE_ADDR conn=%d at %s (-%s)",
-					p.Conn, fmtT(p.At), fmtT(e.At-p.At))
-			default:
-				continue
-			}
-			break
-		}
-		fmt.Printf("  t=%s member=%d entry-bytes=%d cause: %s\n", fmtT(e.At), e.Member, e.A, cause)
+		fmt.Printf("  t=%s member=%d entry-bytes=%d cause: %s\n", fmtT(e.At), e.Member, e.A, stallCause(events, i))
 	}
 	fmt.Println()
+}
+
+// stallCause attributes the stall-entry event at index i to the most recent
+// preceding fault, RTO, subflow death or REMOVE_ADDR on the same member
+// within the lookback window. Shared by the text and JSON reports so both
+// attribute identically.
+func stallCause(events []probe.Event, i int) string {
+	const lookback = 10 * time.Second
+	e := events[i]
+	for j := i - 1; j >= 0; j-- {
+		p := events[j]
+		if p.Member != e.Member || e.At-p.At > lookback {
+			// Events are time-ordered per member, so once the window is
+			// exceeded for this member nothing earlier can qualify.
+			if p.Member == e.Member {
+				break
+			}
+			continue
+		}
+		switch p.Kind {
+		case probe.KindFaultAction:
+			return fmt.Sprintf("fault %s path=%d at %s (-%s)",
+				probe.FaultName(p.A), p.B, fmtT(p.At), fmtT(e.At-p.At))
+		case probe.KindRTO:
+			return fmt.Sprintf("rto x%d (backed-off %s) on conn=%d sf=%d at %s (-%s)",
+				p.A, time.Duration(p.B), p.Conn, p.Subflow, fmtT(p.At), fmtT(e.At-p.At))
+		case probe.KindSubflowFailed:
+			return fmt.Sprintf("subflow death conn=%d sf=%d at %s (-%s)",
+				p.Conn, p.Subflow, fmtT(p.At), fmtT(e.At-p.At))
+		case probe.KindAddrRemoved:
+			return fmt.Sprintf("REMOVE_ADDR conn=%d at %s (-%s)",
+				p.Conn, fmtT(p.At), fmtT(e.At-p.At))
+		}
+	}
+	return "no prior fault/RTO on this member within 10s"
 }
 
 func reportDrainTail(events []probe.Event) {

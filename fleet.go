@@ -63,6 +63,8 @@ type Fleet struct {
 	server   *Config
 	shared   *sharedBottleneck
 	trace    experiments.TraceSpec
+	telem    *Telemetry
+	capLat   int
 	err      error
 }
 
@@ -110,6 +112,18 @@ func (f *Fleet) Trace(dir string, probeInterval time.Duration) *Fleet {
 	return f
 }
 
+// Telemetry attaches a metrics plane to the run: live per-shard progress,
+// phase profiling and the merged latency histogram flow into it while the
+// fleet executes. Attachment never changes the merged result.
+func (f *Fleet) Telemetry(t *Telemetry) *Fleet { f.telem = t; return f }
+
+// LatencySampleCap bounds how many raw latency samples each client pool
+// retains (0 = unlimited, today's behavior). Once a pool hits the cap, its
+// latency table switches from exact order statistics to the log-scale
+// histogram — quantiles stay within the histogram's ~10% bucket resolution
+// while merge memory stops growing with the flow count.
+func (f *Fleet) LatencySampleCap(n int) *Fleet { f.capLat = n; return f }
+
 // SharedBottleneck couples every client's download direction to one named
 // fleet-global resource of the given rate: the shards run in lock-stepped
 // epoch windows and a deterministic max-min allocator divides the rate among
@@ -141,13 +155,15 @@ func (f *Fleet) Run() (*Result, error) {
 		return nil, fmt.Errorf("mptcpgo: fleet has no client groups")
 	}
 	spec := fleet.HTTPSpec{
-		Seed:     f.seed,
-		Shards:   f.shards,
-		Workers:  f.workers,
-		Deadline: f.deadline,
-		Label:    f.label,
-		Server:   f.server,
-		Trace:    f.trace,
+		Seed:             f.seed,
+		Shards:           f.shards,
+		Workers:          f.workers,
+		Deadline:         f.deadline,
+		Label:            f.label,
+		Server:           f.server,
+		Trace:            f.trace,
+		Telemetry:        planeOf(f.telem),
+		LatencySampleCap: f.capLat,
 	}
 	if f.shared != nil {
 		l := f.shared.link()
@@ -278,6 +294,22 @@ func (o *OpenLoop) Label(s string) *OpenLoop { o.spec.Label = s; return o }
 // the scenario's results.
 func (o *OpenLoop) Trace(dir string, probeInterval time.Duration) *OpenLoop {
 	o.spec.Trace = experiments.TraceSpec{Dir: dir, ProbeInterval: probeInterval}
+	return o
+}
+
+// Telemetry attaches a metrics plane to the run: live per-shard progress,
+// phase profiling and the merged latency histogram flow into it while the
+// fleet executes. Attachment never changes the merged result.
+func (o *OpenLoop) Telemetry(t *Telemetry) *OpenLoop {
+	o.spec.Telemetry = planeOf(t)
+	return o
+}
+
+// LatencySampleCap bounds how many raw latency samples each arrival pool
+// retains (0 = unlimited, today's behavior). Capped pools report quantiles
+// from the log-scale histogram instead of exact order statistics.
+func (o *OpenLoop) LatencySampleCap(n int) *OpenLoop {
+	o.spec.LatencySampleCap = n
 	return o
 }
 

@@ -3,6 +3,8 @@ package capacity
 import (
 	"fmt"
 	"time"
+
+	"mptcpgo/internal/telemetry"
 )
 
 // EpochRecord is one shared link's ledger entry for one completed epoch: the
@@ -53,6 +55,15 @@ type Coupler struct {
 
 	offered [][]uint64 // [link][shard] bytes offered this window
 	sent    [][]uint64 // [link][shard] bytes serialized this window
+
+	// Telemetry instruments (nil when detached): the allocate phase span plus
+	// epoch/congestion counters. Touched only from Allocate's single
+	// goroutine; counters are atomic anyway.
+	prof           *telemetry.Profiler
+	epochCtr       *telemetry.Counter
+	congestedCtr   *telemetry.Counter
+	admittedMinBps *telemetry.Gauge
+	admittedMaxBps *telemetry.Gauge
 	// demand[link][shard] is the peak-hold demand estimate (bits per second)
 	// carried across windows, so one all-members-stalled window does not zero
 	// a shard's claim (see SmoothDemand).
@@ -102,6 +113,18 @@ func NewCoupler(links []SharedLink, shardWeights []float64) (*Coupler, error) {
 		c.demand[j] = make([]int64, len(shardWeights))
 	}
 	return c, nil
+}
+
+// Attach instruments the coupler with a telemetry registry and profiler:
+// Allocate runs under an "allocate" span and maintains epoch/congestion
+// counters plus the admitted-rate spread gauges. Attaching never changes the
+// allocation sequence.
+func (c *Coupler) Attach(reg *telemetry.Registry, prof *telemetry.Profiler) {
+	c.prof = prof
+	c.epochCtr = reg.Counter("capacity_epochs_total", "completed capacity-exchange windows")
+	c.congestedCtr = reg.Counter("capacity_congested_epochs_total", "windows where at least one shard's demand exceeded its allocation")
+	c.admittedMinBps = reg.Gauge("capacity_admitted_min_bps", "smallest per-shard admitted rate of the last window")
+	c.admittedMaxBps = reg.Gauge("capacity_admitted_max_bps", "largest per-shard admitted rate of the last window")
 }
 
 // Links returns the coupler's shared links in declaration order.
@@ -155,6 +178,8 @@ func (c *Coupler) Initial() [][]int64 {
 // to the trace and resets the ledger. The result is [shard][link] admitted
 // bits per second for the next window.
 func (c *Coupler) Allocate() [][]int64 {
+	span := c.prof.Start("allocate")
+	defer span.End()
 	out := c.emptyAllocs()
 	epochSec := c.epoch.Seconds()
 	wsum := 0.0
@@ -201,6 +226,11 @@ func (c *Coupler) Allocate() [][]int64 {
 		if c.OnEpoch != nil {
 			c.OnEpoch(rec)
 		}
+		if rec.Bottlenecked > 0 {
+			c.congestedCtr.Add(1)
+		}
+		c.admittedMinBps.Set(float64(rec.MinAllocBps))
+		c.admittedMaxBps.Set(float64(rec.MaxAllocBps))
 		for s := range final {
 			out[s][j] = final[s]
 		}
@@ -209,6 +239,7 @@ func (c *Coupler) Allocate() [][]int64 {
 		}
 	}
 	c.epochs++
+	c.epochCtr.Add(1)
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mptcpgo/internal/probe"
+	"mptcpgo/internal/telemetry"
 )
 
 // TraceSpec describes flight-recorder capture: where the files go and how
@@ -19,6 +20,11 @@ type TraceSpec struct {
 	ProbeInterval time.Duration
 	// EventCap overrides the per-member event ring capacity (0 = default).
 	EventCap int
+	// RunInfo, when set, is written alongside the trace files as
+	// `<name>-runinfo.json` (the configuration/environment portion only —
+	// wall-clock results are machine-dependent and stay out of trace
+	// directories, whose trace.json contents are byte-comparable goldens).
+	RunInfo *telemetry.RunInfo
 }
 
 // Enabled reports whether capture is on.
@@ -155,7 +161,18 @@ func WriteTraceFiles(spec TraceSpec, name string, res *Result, events []probe.Ev
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(spec.Dir, name+"-events.jsonl"), probe.AppendJSONL(nil, events), 0o644)
+	if err := os.WriteFile(filepath.Join(spec.Dir, name+"-events.jsonl"), probe.AppendJSONL(nil, events), 0o644); err != nil {
+		return err
+	}
+	if spec.RunInfo != nil {
+		// Provenance sidecar: trace.json itself must stay machine-independent,
+		// so the runinfo (which records go version, CPU count, VCS state) rides
+		// next to it instead of inside it.
+		if err := spec.RunInfo.Config().WriteFile(filepath.Join(spec.Dir, name+"-runinfo.json")); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // counterColumns is the registry table header: member, one column per

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/workload"
 )
 
@@ -14,10 +15,23 @@ import (
 // regressions here surface scheduler, pool or codec slowdowns before any
 // scenario-level timing does.
 func BenchmarkFleetSegmentRate(b *testing.B) {
+	benchmarkFleetSegmentRate(b, nil)
+}
+
+// BenchmarkFleetSegmentRateTelemetry is the same workload with a telemetry
+// plane attached: the delta against BenchmarkFleetSegmentRate is the whole
+// cost of the instrumentation (strided atomic publishes plus the per-flow
+// histogram observation), which must stay within run-to-run noise.
+func BenchmarkFleetSegmentRateTelemetry(b *testing.B) {
+	benchmarkFleetSegmentRate(b, telemetry.New("bench"))
+}
+
+func benchmarkFleetSegmentRate(b *testing.B, plane *telemetry.Plane) {
 	spec := DefaultOpenLoopSpec(42, 12, 200, 2*time.Second)
 	spec.Shards = 4
 	spec.Sizes = workload.FixedSize(16 << 10)
 	spec.FlowDeadline = 3 * time.Second
+	spec.Telemetry = plane
 
 	spec = spec.withDefaults()
 	var segments uint64

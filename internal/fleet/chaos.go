@@ -13,6 +13,7 @@ import (
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 )
 
 // chaosStream offsets the DeriveSeed stream indices used for per-member
@@ -73,6 +74,9 @@ type ChaosSpec struct {
 	// and per-subflow samples written to <Trace.Dir>/<CaptureName>-trace.json
 	// and -events.jsonl. Never changes the scenario's own result.
 	Trace experiments.TraceSpec
+	// Telemetry, when non-nil, attaches the run to a telemetry plane (live
+	// shard cells, phase spans). Attaching never changes the merged result.
+	Telemetry *telemetry.Plane
 }
 
 func (s ChaosSpec) withDefaults() ChaosSpec {
@@ -360,6 +364,7 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 			spec.Members, len(outs), spec.TransferBytes>>10, spec.WatchdogInterval),
 		"shard", "members", "ok", "fallback", "stalled", "stallEp", "failed", "intact",
 		"reinject", "connRtx", "flaps", "ifdown", "ifup", "reasons", "events")
+	mergeSpan := spec.Telemetry.StartSpan("merge")
 	var total chaosMerge
 	var totalEvents uint64
 	okSeries := make([]float64, len(outs))
@@ -399,6 +404,7 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 	for _, dump := range total.stallDumps {
 		table.AddNote("%s", dump)
 	}
+	mergeSpan.End()
 	if spec.Trace.Enabled() {
 		recs := make([]*probe.Recorder, len(outs))
 		for i, out := range outs {
@@ -416,6 +422,7 @@ func runChaos(spec ChaosSpec) (*experiments.Result, chaosMerge, error) {
 // each a dual-homed client with per-member fault injection and an integrity-
 // checked upload.
 func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
+	buildSpan := spec.Telemetry.StartSpan("build-graph")
 	g := netem.GraphSpec{}
 	g.AddHost("server")
 	pathIdx := make(map[int][2]int, sh.Members())
@@ -523,6 +530,11 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 		m.watchdog.Start()
 	}
 
+	members64 := int64(sh.Members())
+	sh.AttachTelemetry(spec.Telemetry, func() (int64, int64) {
+		return members64 - int64(remaining), members64
+	})
+	buildSpan.End()
 	rec.StartSampler(func() bool { return remaining == 0 })
 	sh.StepUntil(spec.Deadline, func() bool { return remaining == 0 })
 
@@ -587,5 +599,6 @@ func runChaosShard(spec *ChaosSpec, sh *Shard) (chaosShardOut, error) {
 	if sh.Capture != nil {
 		out.merge.encodeErrors = sh.Capture.EncodeErrors
 	}
+	sh.FinishTelemetry()
 	return out, nil
 }

@@ -8,7 +8,6 @@ import (
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/probe"
-	"mptcpgo/internal/trace"
 )
 
 // CorelinkSpec describes the fleet-corelink scenario: the open-loop HTTP
@@ -131,6 +130,9 @@ func RunCorelink(spec CorelinkSpec) (*experiments.Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			if spec.Telemetry != nil {
+				c.Attach(spec.Telemetry.Reg, spec.Telemetry.Prof)
+			}
 			coupler = c
 			scn.c = c
 			scn.recs = make([]*probe.Recorder, len(descs))
@@ -165,19 +167,20 @@ func RunCorelink(spec CorelinkSpec) (*experiments.Result, error) {
 			spec.Hosts, len(outs), spec.Window, spec.Shared),
 		"shard", "hosts", "offered", "done", "dropped", "shed", "failed", "open",
 		"offered Mbps", "goodput Mbps", "p50 ms", "p99 ms", "events")
+	mergeSpan := spec.Telemetry.StartSpan("merge")
 	var total openLoopMerge
 	var totalEvents uint64
 	goodput := make([]float64, len(outs))
 	p99 := make([]float64, len(outs))
 	for i, out := range outs {
 		goodput[i] = out.merge.goodputMbps()
-		p99[i] = trace.Percentile(out.merge.samples, 99)
+		p99[i] = out.merge.percentile(99)
 		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.hosts),
 			fmt.Sprintf("%d", out.merge.offered), fmt.Sprintf("%d", out.merge.completed),
 			fmt.Sprintf("%d", out.merge.dropped), fmt.Sprintf("%d", out.merge.shed),
 			fmt.Sprintf("%d", out.merge.failed), fmt.Sprintf("%d", out.merge.unfinished),
 			fmt.Sprintf("%.2f", out.merge.offeredMbps()), fmt.Sprintf("%.2f", goodput[i]),
-			fmt.Sprintf("%.2f", trace.Percentile(out.merge.samples, 50)),
+			fmt.Sprintf("%.2f", out.merge.percentile(50)),
 			fmt.Sprintf("%.2f", p99[i]), fmt.Sprintf("%d", out.events))
 		total.merge(out.merge)
 		totalEvents += out.events
@@ -187,14 +190,16 @@ func RunCorelink(spec CorelinkSpec) (*experiments.Result, error) {
 		fmt.Sprintf("%d", total.dropped), fmt.Sprintf("%d", total.shed),
 		fmt.Sprintf("%d", total.failed), fmt.Sprintf("%d", total.unfinished),
 		fmt.Sprintf("%.2f", total.offeredMbps()), fmt.Sprintf("%.2f", total.goodputMbps()),
-		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 50)),
-		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 99)), fmt.Sprintf("%d", totalEvents))
+		fmt.Sprintf("%.2f", total.percentile(50)),
+		fmt.Sprintf("%.2f", total.percentile(99)), fmt.Sprintf("%d", totalEvents))
 	table.AddNote("every download direction transits shared link %q: global goodput saturates at its %s no matter how the fleet is sharded — overload is a system property, not a per-shard one",
 		spec.Shared.Name, capacity.FormatRate(spec.Shared.RateBps))
 	res.AddTable(table)
 	res.AddSeries(ShardSeries("goodput", "Mbps", goodput))
 	res.AddSeries(ShardSeries("latency p99", "ms", p99))
 	addCapacityReport(res, coupler)
+	mergeSpan.End()
+	spec.Telemetry.SetLatency(total.hist)
 	if spec.Trace.Enabled() {
 		recs := make([]*probe.Recorder, len(outs))
 		for i, out := range outs {

@@ -74,6 +74,10 @@ func RunCoupled[S any, T any](root uint64, members, shards, workers int, deadlin
 		return nil, err
 	}
 
+	// All shards share one plane, so any shard's profiler handle works for
+	// the fleet-level barrier span (nil when telemetry is detached).
+	prof := descs[0].Prof
+
 	epoch := c.Epoch()
 	allocs := c.Initial()
 	for boundary := epoch; ; boundary += epoch {
@@ -81,18 +85,30 @@ func RunCoupled[S any, T any](root uint64, members, shards, workers int, deadlin
 			boundary = deadline
 		}
 		end := boundary
+		barrier := prof.Start("epoch-barrier")
 		if _, err := experiments.SweepWorkers(n, workers, func(i int) (struct{}, error) {
 			sh := &descs[i]
+			var wall time.Time
+			if sh.Telem != nil {
+				wall = time.Now()
+			}
 			meters[i].Apply(allocs[sh.Index])
 			if err := sh.Sim.RunUntil(end); err != nil {
 				return struct{}{}, fmt.Errorf("fleet: shard %d: %w", sh.Index, err)
 			}
 			offered, sent := meters[i].Collect()
 			c.Report(sh.Index, offered, sent)
+			if sh.Telem != nil {
+				// Per-shard wall cost of this epoch window: the straggler gauge
+				// behind the barrier.
+				sh.Telem.EpochWallNs.Store(int64(time.Since(wall)))
+				sh.publishTelemetry()
+			}
 			return struct{}{}, nil
 		}); err != nil {
 			return nil, err
 		}
+		barrier.End()
 		// Barrier passed: every shard's Report for this window happened
 		// before this Allocate (worker-pool join), so the allocation is a
 		// pure function of the ledger.

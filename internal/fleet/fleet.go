@@ -24,6 +24,7 @@ import (
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/trace"
 )
 
@@ -62,6 +63,18 @@ type Shard struct {
 	// Probe is the shard's flight recorder when StartProbe opened one (nil
 	// otherwise; see probe.go). Its member range is the shard's [Lo, Hi).
 	Probe *probe.Recorder
+
+	// Telem is the shard's telemetry publication cell when a telemetry plane
+	// is attached (nil otherwise). The step loop stores atomic snapshots into
+	// it; progress/exposition goroutines only load — telemetry never feeds
+	// back into the simulation.
+	Telem *telemetry.ShardCell
+	// Prof is the attached plane's phase profiler (shared across shards;
+	// Profiler is concurrency-safe). Nil when telemetry is detached.
+	Prof *telemetry.Profiler
+	// flows reports live workload progress (done, offered) for the shard;
+	// set by scenario shard functions via AttachTelemetry.
+	flows func() (done, offered int64)
 }
 
 // Members returns the number of workload members the shard owns.
@@ -101,17 +114,76 @@ func (sh *Shard) SegmentsSent() uint64 {
 	return n
 }
 
+// AttachTelemetry wires the shard to a telemetry plane: allocates its
+// publication cell and remembers the live flow-progress closure (called on
+// the shard goroutine only). A nil plane is a no-op, keeping the untelemetered
+// step loop exactly as it was.
+func (sh *Shard) AttachTelemetry(p *telemetry.Plane, flows func() (done, offered int64)) {
+	if p == nil {
+		return
+	}
+	sh.Telem = p.Track.Cell(sh.Index, sh.Count)
+	sh.Prof = p.Prof
+	sh.flows = flows
+	sh.publishTelemetry()
+}
+
+// publishTelemetry stores the shard's current counters into its atomic cell.
+// Runs on the shard goroutine; the reads (Sim.Now, link stats, flow
+// counters) are all plain field reads on shard-private state.
+func (sh *Shard) publishTelemetry() {
+	c := sh.Telem
+	if c == nil {
+		return
+	}
+	c.SimNowNs.Store(int64(sh.Sim.Now()))
+	c.Events.Store(sh.Sim.Processed)
+	c.Segments.Store(sh.SegmentsSent())
+	if sh.flows != nil {
+		done, offered := sh.flows()
+		c.FlowsDone.Store(done)
+		c.FlowsOffered.Store(offered)
+	}
+}
+
+// FinishTelemetry marks the shard collected and publishes its final counters.
+func (sh *Shard) FinishTelemetry() {
+	if sh.Telem == nil {
+		return
+	}
+	sh.publishTelemetry()
+	sh.Telem.Done.Store(true)
+}
+
+// telemetryStride is how many simulator events the step loop processes
+// between telemetry publications: rare enough to keep the hot loop free of
+// atomic-store overhead, frequent enough for second-granularity progress.
+const telemetryStride = 2048
+
 // StepUntil steps the shard's simulator until done reports true, the event
 // queue drains, or the simulated deadline passes — whichever comes first.
 // Scenario shard functions use it with a completion counter so a shard stops
 // the moment its last member finishes instead of idling to the deadline.
 func (sh *Shard) StepUntil(deadline time.Duration, done func() bool) {
 	s := sh.Sim
-	for !done() && s.Now() < deadline && s.Step() {
+	if sh.Telem == nil {
+		for !done() && s.Now() < deadline && s.Step() {
+		}
+	} else {
+		span := sh.Prof.Start("shard-step")
+		n := 0
+		for !done() && s.Now() < deadline && s.Step() {
+			n++
+			if n&(telemetryStride-1) == 0 {
+				sh.publishTelemetry()
+			}
+		}
+		span.End()
 	}
 	// Bring lazily-settled counters (virtual link dequeues) up to the exact
 	// stop point before the caller reads Sim.Processed or link stats.
 	s.Settle()
+	sh.publishTelemetry()
 }
 
 // plan normalizes a (members, shards) request: shards defaults to one per

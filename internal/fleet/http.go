@@ -10,7 +10,7 @@ import (
 	"mptcpgo/internal/httpsim"
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/probe"
-	"mptcpgo/internal/trace"
+	"mptcpgo/internal/telemetry"
 )
 
 // HTTPClient is the resolved spec of one closed-loop client in an HTTP
@@ -70,6 +70,15 @@ type HTTPSpec struct {
 	// Trace enables the flight recorder (events + counters + samples written
 	// to Trace.Dir). Never changes the scenario's own result.
 	Trace experiments.TraceSpec
+	// Telemetry, when non-nil, attaches the run to a telemetry plane: live
+	// shard progress cells, phase-profiler spans and the merged latency
+	// histogram. Attaching never changes the merged result.
+	Telemetry *telemetry.Plane
+	// LatencySampleCap bounds per-pool raw latency-sample retention (0 =
+	// unlimited, today's exact behavior). When capped, merged latency
+	// statistics come from the log-scale histograms instead of raw samples —
+	// within histogram bucket resolution of the exact order statistics.
+	LatencySampleCap int
 }
 
 // DefaultAccessLink derives the deterministic heterogeneous access link used
@@ -168,6 +177,9 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 				if err != nil {
 					return nil, err
 				}
+				if spec.Telemetry != nil {
+					c.Attach(spec.Telemetry.Reg, spec.Telemetry.Prof)
+				}
 				coupler = c
 				scn.c = c
 				return c, nil
@@ -194,6 +206,7 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	table := experiments.NewTable(
 		fmt.Sprintf("%d closed-loop clients across %d shards", len(spec.Clients), len(outs)),
 		"shard", "clients", "completed", "failed", "req/s", "mean ms", "p95 ms", "MB", "events")
+	mergeSpan := spec.Telemetry.StartSpan("merge")
 	var total PoolMerge
 	var totalEvents uint64
 	rps := make([]float64, len(outs))
@@ -201,7 +214,7 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	for i, out := range outs {
 		r := out.merge.Result()
 		rps[i] = r.RequestsPerSec
-		p95[i] = trace.Percentile(out.merge.Samples, 95)
+		p95[i] = out.merge.Percentile(95)
 		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.clients),
 			fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%d", r.Failed),
 			fmt.Sprintf("%.1f", r.RequestsPerSec), fmtMs(r.MeanLatency), fmtMs(r.P95Latency),
@@ -220,6 +233,8 @@ func RunHTTP(spec HTTPSpec) (*experiments.Result, error) {
 	if coupler != nil {
 		addCapacityReport(res, coupler)
 	}
+	mergeSpan.End()
+	spec.Telemetry.SetLatency(total.Hist)
 	if spec.Trace.Enabled() {
 		recs := make([]*probe.Recorder, len(outs))
 		for i, out := range outs {
@@ -250,6 +265,8 @@ func (st *httpState) done() bool { return st.remaining == 0 }
 // client index) before the graph is built — the hook the coupled runner uses
 // to mark shared directions.
 func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpec)) (*httpState, error) {
+	buildSpan := spec.Telemetry.StartSpan("build-graph")
+	defer buildSpan.End()
 	g := netem.GraphSpec{}
 	g.AddHost("server")
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
@@ -292,6 +309,7 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 			Conn:          c.Conn,
 			Iface:         iface,
 			OnDone:        func() { st.remaining-- },
+			SampleCap:     spec.LatencySampleCap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d client %d: %w", sh.Index, gi, err)
@@ -301,6 +319,15 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 		// spread out the same way regardless of the partition.
 		sh.Sim.Schedule(time.Duration(gi%97)*127*time.Microsecond, pool.Start)
 	}
+	sh.AttachTelemetry(spec.Telemetry, func() (int64, int64) {
+		var done, offered int64
+		for _, p := range st.pools {
+			d, o := p.Progress()
+			done += int64(d)
+			offered += int64(o)
+		}
+		return done, offered
+	})
 	rec.StartSampler(st.done)
 	return st, nil
 }
@@ -309,11 +336,12 @@ func buildHTTPShard(spec *HTTPSpec, sh *Shard, tag func(gi int, l *netem.LinkSpe
 func (st *httpState) collect(sh *Shard) (httpShardOut, error) {
 	out := httpShardOut{clients: sh.Members(), events: sh.probeEvents(), rec: sh.Probe}
 	for _, p := range st.pools {
-		out.merge.Add(p.Result(), p.LatencySamples())
+		out.merge.Add(p.Result(), p.LatencySamples(), p.LatencyHist(), p.Capped())
 	}
 	if err := st.closeCapture(); err != nil {
 		return httpShardOut{}, err
 	}
+	sh.FinishTelemetry()
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mptcpgo/internal/experiments"
 	"mptcpgo/internal/httpsim"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/trace"
 )
 
@@ -23,10 +24,18 @@ type PoolMerge struct {
 	// Samples holds the merged per-request latencies (milliseconds) in merge
 	// order.
 	Samples []float64
+	// Hist is the merged log-scale latency histogram (always populated when
+	// the pools carry one); Capped marks that at least one pool dropped raw
+	// samples at its SampleCap, in which case latency statistics must come
+	// from Hist.
+	Hist   *telemetry.Histogram
+	Capped bool
 }
 
 // Add folds one pool result and its latency samples into the aggregate.
-func (m *PoolMerge) Add(r httpsim.PoolResult, samples []float64) {
+// Callers fold pools in member order within a shard and shards in index
+// order, which keeps the histogram merge (and hence Sum) deterministic.
+func (m *PoolMerge) Add(r httpsim.PoolResult, samples []float64, hist *telemetry.Histogram, capped bool) {
 	m.Completed += r.Completed
 	m.Failed += r.Failed
 	m.Bytes += r.BytesReceived
@@ -34,6 +43,8 @@ func (m *PoolMerge) Add(r httpsim.PoolResult, samples []float64) {
 		m.Duration = r.Duration
 	}
 	m.Samples = append(m.Samples, samples...)
+	m.mergeHist(hist)
+	m.Capped = m.Capped || capped
 }
 
 // Merge folds another aggregate (typically one shard's) into this one,
@@ -47,6 +58,40 @@ func (m *PoolMerge) Merge(other PoolMerge) {
 		m.Duration = other.Duration
 	}
 	m.Samples = append(m.Samples, other.Samples...)
+	m.mergeHist(other.Hist)
+	m.Capped = m.Capped || other.Capped
+}
+
+func (m *PoolMerge) mergeHist(h *telemetry.Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	if m.Hist == nil {
+		m.Hist = telemetry.NewLatencyHistogram()
+	}
+	if err := m.Hist.Merge(h); err != nil {
+		// All pool histograms share one constructor; a mismatch is a bug.
+		panic(err)
+	}
+}
+
+// Percentile returns the merged latency percentile in milliseconds: the exact
+// order statistic from the raw samples when retention was unlimited, the
+// histogram quantile once any pool was capped.
+func (m *PoolMerge) Percentile(p float64) float64 {
+	if m.Capped {
+		return m.Hist.Quantile(p)
+	}
+	return trace.Percentile(m.Samples, p)
+}
+
+// MeanLatencyMs returns the merged mean latency in milliseconds under the
+// same raw-vs-histogram dispatch as Percentile.
+func (m *PoolMerge) MeanLatencyMs() float64 {
+	if m.Capped {
+		return m.Hist.Mean()
+	}
+	return trace.Mean(m.Samples)
 }
 
 // Result renders the aggregate as a PoolResult: counts and bytes are sums,
@@ -63,9 +108,9 @@ func (m *PoolMerge) Result() httpsim.PoolResult {
 	if m.Duration > 0 {
 		res.RequestsPerSec = float64(m.Completed) / m.Duration.Seconds()
 	}
-	if len(m.Samples) > 0 {
-		res.MeanLatency = time.Duration(trace.Mean(m.Samples) * float64(time.Millisecond))
-		res.P95Latency = time.Duration(trace.Percentile(m.Samples, 95) * float64(time.Millisecond))
+	if m.Capped || len(m.Samples) > 0 {
+		res.MeanLatency = time.Duration(m.MeanLatencyMs() * float64(time.Millisecond))
+		res.P95Latency = time.Duration(m.Percentile(95) * float64(time.Millisecond))
 	}
 	return res
 }

@@ -10,6 +10,7 @@ import (
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/trace"
 	"mptcpgo/internal/workload"
 )
@@ -72,6 +73,14 @@ type OpenLoopSpec struct {
 	// Trace enables the flight recorder (events + counters + samples written
 	// to Trace.Dir). Never changes the scenario's own result.
 	Trace experiments.TraceSpec
+	// Telemetry, when non-nil, attaches the run to a telemetry plane (live
+	// shard cells, phase spans, merged latency histogram). Attaching never
+	// changes the merged result.
+	Telemetry *telemetry.Plane
+	// LatencySampleCap bounds per-pool raw latency-sample retention (0 =
+	// unlimited, today's exact behavior); capped runs report latency from the
+	// log-scale histograms.
+	LatencySampleCap int
 }
 
 // DefaultOpenLoopSpec builds the stock fleet-openloop workload: hosts client
@@ -139,9 +148,14 @@ type openLoopMerge struct {
 	window       time.Duration
 	elapsed      time.Duration
 	samples      []float64
+	// hist is the merged log-scale latency histogram; capped marks that at
+	// least one pool dropped raw samples at its SampleCap, in which case
+	// latency statistics come from hist.
+	hist   *telemetry.Histogram
+	capped bool
 }
 
-func (m *openLoopMerge) add(r httpsim.OpenLoopResult, samples []float64) {
+func (m *openLoopMerge) add(r httpsim.OpenLoopResult, samples []float64, hist *telemetry.Histogram, capped bool) {
 	m.offered += r.Offered
 	m.offeredBytes += r.OfferedBytes
 	m.completed += r.Completed
@@ -157,6 +171,8 @@ func (m *openLoopMerge) add(r httpsim.OpenLoopResult, samples []float64) {
 		m.elapsed = r.Elapsed
 	}
 	m.samples = append(m.samples, samples...)
+	m.mergeHist(hist)
+	m.capped = m.capped || capped
 }
 
 func (m *openLoopMerge) merge(other openLoopMerge) {
@@ -175,6 +191,30 @@ func (m *openLoopMerge) merge(other openLoopMerge) {
 		m.elapsed = other.elapsed
 	}
 	m.samples = append(m.samples, other.samples...)
+	m.mergeHist(other.hist)
+	m.capped = m.capped || other.capped
+}
+
+func (m *openLoopMerge) mergeHist(h *telemetry.Histogram) {
+	if h.Count() == 0 {
+		return
+	}
+	if m.hist == nil {
+		m.hist = telemetry.NewLatencyHistogram()
+	}
+	if err := m.hist.Merge(h); err != nil {
+		// All pool histograms share one constructor; a mismatch is a bug.
+		panic(err)
+	}
+}
+
+// percentile dispatches between exact raw-sample order statistics (default)
+// and histogram quantiles (once any pool capped raw retention).
+func (m *openLoopMerge) percentile(p float64) float64 {
+	if m.capped {
+		return m.hist.Quantile(p)
+	}
+	return trace.Percentile(m.samples, p)
 }
 
 // offeredMbps is the injected load over the arrival window.
@@ -232,19 +272,20 @@ func RunOpenLoop(spec OpenLoopSpec) (*experiments.Result, error) {
 		fmt.Sprintf("%d arrival hosts across %d shards, %v window", spec.Hosts, len(outs), spec.Window),
 		"shard", "hosts", "offered", "done", "dropped", "shed", "failed", "open",
 		"offered Mbps", "goodput Mbps", "p50 ms", "p99 ms", "events")
+	mergeSpan := spec.Telemetry.StartSpan("merge")
 	var total openLoopMerge
 	var totalEvents uint64
 	goodput := make([]float64, len(outs))
 	p99 := make([]float64, len(outs))
 	for i, out := range outs {
 		goodput[i] = out.merge.goodputMbps()
-		p99[i] = trace.Percentile(out.merge.samples, 99)
+		p99[i] = out.merge.percentile(99)
 		table.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", out.hosts),
 			fmt.Sprintf("%d", out.merge.offered), fmt.Sprintf("%d", out.merge.completed),
 			fmt.Sprintf("%d", out.merge.dropped), fmt.Sprintf("%d", out.merge.shed),
 			fmt.Sprintf("%d", out.merge.failed), fmt.Sprintf("%d", out.merge.unfinished),
 			fmt.Sprintf("%.2f", out.merge.offeredMbps()), fmt.Sprintf("%.2f", goodput[i]),
-			fmt.Sprintf("%.2f", trace.Percentile(out.merge.samples, 50)),
+			fmt.Sprintf("%.2f", out.merge.percentile(50)),
 			fmt.Sprintf("%.2f", p99[i]), fmt.Sprintf("%d", out.events))
 		total.merge(out.merge)
 		totalEvents += out.events
@@ -254,12 +295,14 @@ func RunOpenLoop(spec OpenLoopSpec) (*experiments.Result, error) {
 		fmt.Sprintf("%d", total.dropped), fmt.Sprintf("%d", total.shed),
 		fmt.Sprintf("%d", total.failed), fmt.Sprintf("%d", total.unfinished),
 		fmt.Sprintf("%.2f", total.offeredMbps()), fmt.Sprintf("%.2f", total.goodputMbps()),
-		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 50)),
-		fmt.Sprintf("%.2f", trace.Percentile(total.samples, 99)), fmt.Sprintf("%d", totalEvents))
+		fmt.Sprintf("%.2f", total.percentile(50)),
+		fmt.Sprintf("%.2f", total.percentile(99)), fmt.Sprintf("%d", totalEvents))
 	table.AddNote("open-loop: arrivals are injected by the process regardless of completions; dropped = hit the %v flow deadline, shed = refused at the in-flight cap, open = still in flight at the simulation deadline", spec.FlowDeadline)
 	res.AddTable(table)
 	res.AddSeries(ShardSeries("goodput", "Mbps", goodput))
 	res.AddSeries(ShardSeries("latency p99", "ms", p99))
+	mergeSpan.End()
+	spec.Telemetry.SetLatency(total.hist)
 	if spec.Trace.Enabled() {
 		recs := make([]*probe.Recorder, len(outs))
 		for i, out := range outs {
@@ -293,6 +336,8 @@ func (st *openLoopState) done() bool { return st.remaining == 0 }
 // access link's spec before it is added (the corelink scenario uses it to
 // mark shared-bottleneck membership).
 func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func(gi int, l *netem.LinkSpec)) (*openLoopState, error) {
+	buildSpan := spec.Telemetry.StartSpan("build-graph")
+	defer buildSpan.End()
 	g := netem.GraphSpec{}
 	g.AddHost("server")
 	for gi := sh.Lo; gi < sh.Hi; gi++ {
@@ -340,6 +385,7 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 			Conn:         *spec.Conn,
 			Iface:        iface,
 			OnDone:       func() { st.remaining-- },
+			SampleCap:    spec.LatencySampleCap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d host %d: %w", sh.Index, gi, err)
@@ -349,6 +395,15 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 		// load (their first gaps differ per host stream).
 		sh.Sim.Schedule(0, pool.Start)
 	}
+	sh.AttachTelemetry(spec.Telemetry, func() (int64, int64) {
+		var done, offered int64
+		for _, p := range st.pools {
+			d, o := p.Progress()
+			done += int64(d)
+			offered += int64(o)
+		}
+		return done, offered
+	})
 	rec.StartSampler(st.done)
 	return st, nil
 }
@@ -358,7 +413,7 @@ func buildOpenLoopShard(spec *OpenLoopSpec, sh *Shard, scenario string, tag func
 func (st *openLoopState) collect(sh *Shard) (openLoopShardOut, error) {
 	out := openLoopShardOut{hosts: sh.Members(), events: sh.probeEvents(), segments: sh.SegmentsSent(), rec: sh.Probe}
 	for _, p := range st.pools {
-		out.merge.add(p.Result(), p.LatencySamples())
+		out.merge.add(p.Result(), p.LatencySamples(), p.LatencyHist(), p.Capped())
 	}
 	if sh.Probe != nil {
 		// Fold each host's access-link wire drops into its counter registry.
@@ -371,6 +426,7 @@ func (st *openLoopState) collect(sh *Shard) (openLoopShardOut, error) {
 	if err := st.closeCapture(); err != nil {
 		return openLoopShardOut{}, err
 	}
+	sh.FinishTelemetry()
 	return out, nil
 }
 

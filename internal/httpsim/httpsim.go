@@ -19,6 +19,7 @@ import (
 	"mptcpgo/internal/netem"
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/trace"
 )
 
@@ -129,6 +130,11 @@ type ClientPoolConfig struct {
 	// completed (or failed). Sharded drivers use it to stop stepping the
 	// shard's simulator as soon as its last pool finishes.
 	OnDone func()
+	// SampleCap bounds raw latency-sample retention. Zero keeps every sample
+	// (exact percentiles, today's behavior); a positive cap stops appending
+	// raw samples once reached, after which Result's latency statistics come
+	// from the pool's log-scale histogram instead.
+	SampleCap int
 }
 
 // PoolResult summarises a benchmark run.
@@ -153,6 +159,8 @@ type ClientPool struct {
 	failed    int
 	bytes     uint64
 	latency   *trace.Sampler
+	hist      *telemetry.Histogram
+	capped    bool
 	stopped   bool
 	// finishedAt records when the TotalRequests-th request completed, so
 	// Result measures the actual benchmark window rather than however far the
@@ -190,6 +198,7 @@ func NewClientPool(mgr *core.Manager, cfg ClientPoolConfig) (*ClientPool, error)
 		mgr:     mgr,
 		sim:     mgr.Host().Sim(),
 		latency: trace.NewSampler(),
+		hist:    telemetry.NewLatencyHistogram(),
 		scratch: make([]byte, 64<<10),
 	}, nil
 }
@@ -242,7 +251,7 @@ func (p *ClientPool) issueRequest() {
 		if ok {
 			p.completed++
 			p.bytes += uint64(received)
-			p.latency.Record(float64(p.sim.Now()-start)/float64(time.Millisecond), p.sim.Now())
+			p.recordLatency(float64(p.sim.Now()-start) / float64(time.Millisecond))
 		} else {
 			p.failed++
 		}
@@ -287,9 +296,36 @@ func (p *ClientPool) noteProgress() {
 	}
 }
 
+// recordLatency feeds one completed-request latency (milliseconds) into the
+// histogram (always) and the raw sampler (until SampleCap, if set).
+func (p *ClientPool) recordLatency(ms float64) {
+	p.hist.Observe(ms)
+	if p.cfg.SampleCap > 0 && p.latency.Len() >= p.cfg.SampleCap {
+		p.capped = true
+		return
+	}
+	p.latency.Record(ms, p.sim.Now())
+}
+
 // Done reports whether the pool has exhausted its TotalRequests budget (always
 // false for deadline-bounded pools with TotalRequests == 0).
 func (p *ClientPool) Done() bool { return p.doneFired }
+
+// LatencyHist returns the pool's log-scale latency histogram. Always
+// populated, whether or not raw samples are capped.
+func (p *ClientPool) LatencyHist() *telemetry.Histogram { return p.hist }
+
+// Capped reports whether raw latency samples were dropped due to SampleCap;
+// when true, exact-order-statistic percentiles are unavailable and callers
+// must use the histogram.
+func (p *ClientPool) Capped() bool { return p.capped }
+
+// Progress returns live workload counters (completed+failed, offered). Safe
+// only on the pool's own shard goroutine; telemetry publication copies the
+// values into atomic cells for cross-goroutine readers.
+func (p *ClientPool) Progress() (done, offered int) {
+	return p.completed + p.failed, p.cfg.TotalRequests
+}
 
 // LatencySamples returns the per-request latencies in milliseconds, in
 // completion order. The slice is owned by the pool; callers that outlive it
@@ -315,7 +351,13 @@ func (p *ClientPool) Result() PoolResult {
 	if dur > 0 {
 		res.RequestsPerSec = float64(p.completed) / dur.Seconds()
 	}
-	if p.latency.Len() > 0 {
+	switch {
+	case p.capped:
+		// Raw samples were truncated at SampleCap: report from the histogram,
+		// which saw every observation.
+		res.MeanLatency = time.Duration(p.hist.Mean() * float64(time.Millisecond))
+		res.P95Latency = time.Duration(p.hist.Quantile(95) * float64(time.Millisecond))
+	case p.latency.Len() > 0:
 		res.MeanLatency = time.Duration(p.latency.Mean() * float64(time.Millisecond))
 		res.P95Latency = time.Duration(p.latency.Percentile(95) * float64(time.Millisecond))
 	}

@@ -10,6 +10,7 @@ import (
 	"mptcpgo/internal/packet"
 	"mptcpgo/internal/probe"
 	"mptcpgo/internal/sim"
+	"mptcpgo/internal/telemetry"
 	"mptcpgo/internal/trace"
 	"mptcpgo/internal/workload"
 )
@@ -51,6 +52,11 @@ type OpenLoopConfig struct {
 	// OnDone, if set, fires once when the arrival window has closed and
 	// every arrived flow has settled (completed, failed, shed or dropped).
 	OnDone func()
+	// SampleCap bounds raw latency-sample retention. Zero keeps every sample
+	// (exact percentiles, today's behavior); a positive cap stops appending
+	// raw samples once reached, after which Result's latency statistics come
+	// from the pool's log-scale histogram instead.
+	SampleCap int
 }
 
 // OpenLoopResult summarises one pool's run.
@@ -106,6 +112,8 @@ type OpenLoopPool struct {
 	settledAt    time.Duration
 	doneFired    bool
 	latency      *trace.Sampler
+	hist         *telemetry.Histogram
+	capped       bool
 
 	// rec/member mirror the manager's flight recorder at pool construction
 	// (nil recorder = no tracing); flow settlements emit KindFlowDone.
@@ -142,6 +150,7 @@ func NewOpenLoopPool(mgr *core.Manager, cfg OpenLoopConfig) (*OpenLoopPool, erro
 		mgr:     mgr,
 		sim:     mgr.Host().Sim(),
 		latency: trace.NewSampler(),
+		hist:    telemetry.NewLatencyHistogram(),
 		scratch: make([]byte, 64<<10),
 	}
 	p.rec, p.member = mgr.Probe()
@@ -222,7 +231,7 @@ func (p *OpenLoopPool) startFlow(size int) {
 		if ok {
 			p.completed++
 			p.bytes += uint64(received)
-			p.latency.Record(float64(p.sim.Now()-start)/float64(time.Millisecond), p.sim.Now())
+			p.recordLatency(float64(p.sim.Now()-start) / float64(time.Millisecond))
 			p.rec.Emit(p.member, probe.KindFlowDone, -1, -1, flowOK, int64(received))
 		} else {
 			p.failed++
@@ -289,8 +298,32 @@ func (p *OpenLoopPool) checkDone() {
 	}
 }
 
+// recordLatency feeds one flow-completion latency (milliseconds) into the
+// histogram (always) and the raw sampler (until SampleCap, if set).
+func (p *OpenLoopPool) recordLatency(ms float64) {
+	p.hist.Observe(ms)
+	if p.cfg.SampleCap > 0 && p.latency.Len() >= p.cfg.SampleCap {
+		p.capped = true
+		return
+	}
+	p.latency.Record(ms, p.sim.Now())
+}
+
 // Done reports whether the arrival window has closed and every flow settled.
 func (p *OpenLoopPool) Done() bool { return p.doneFired }
+
+// LatencyHist returns the pool's log-scale latency histogram. Always
+// populated, whether or not raw samples are capped.
+func (p *OpenLoopPool) LatencyHist() *telemetry.Histogram { return p.hist }
+
+// Capped reports whether raw latency samples were dropped due to SampleCap.
+func (p *OpenLoopPool) Capped() bool { return p.capped }
+
+// Progress returns live workload counters (settled flows, offered arrivals).
+// Safe only on the pool's own shard goroutine.
+func (p *OpenLoopPool) Progress() (done, offered int) {
+	return p.completed + p.dropped + p.shed + p.failed, p.offered
+}
 
 // LatencySamples returns the per-flow completion latencies in milliseconds,
 // in completion order. The slice is owned by the pool.
@@ -317,7 +350,14 @@ func (p *OpenLoopPool) Result() OpenLoopResult {
 	if res.Elapsed > 0 {
 		res.GoodputMbps = float64(p.bytes) * 8 / res.Elapsed.Seconds() / 1e6
 	}
-	if p.latency.Len() > 0 {
+	switch {
+	case p.capped:
+		// Raw samples were truncated at SampleCap: report from the histogram,
+		// which saw every observation.
+		res.MeanLatency = time.Duration(p.hist.Mean() * float64(time.Millisecond))
+		res.P50Latency = time.Duration(p.hist.Quantile(50) * float64(time.Millisecond))
+		res.P99Latency = time.Duration(p.hist.Quantile(99) * float64(time.Millisecond))
+	case p.latency.Len() > 0:
 		res.MeanLatency = time.Duration(p.latency.Mean() * float64(time.Millisecond))
 		res.P50Latency = time.Duration(p.latency.Percentile(50) * float64(time.Millisecond))
 		res.P99Latency = time.Duration(p.latency.Percentile(99) * float64(time.Millisecond))

@@ -1,0 +1,247 @@
+// Package telemetry is the run-observability plane of the fleet engine: a
+// metrics registry (counters, gauges, fixed-boundary log-scale histograms), a
+// wall-clock phase profiler, a live run tracker with Prometheus/expvar
+// exposition, and run-provenance capture.
+//
+// The package obeys the same attach-changes-nothing discipline as the flight
+// recorder: nothing here ever feeds back into the deterministic simulation.
+// Shard workers publish into preallocated atomic cells; exposition goroutines
+// only read atomic snapshots; histograms merge in shard-index order so every
+// derived statistic is byte-identical at any worker count. Wall-clock values
+// (profiler spans, progress lines) come from the monotonic host clock and are
+// never mixed into sim-time results.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-boundary log-scale histogram. The boundaries are a
+// pure function of the spec (lo, decades, buckets per decade), so two
+// histograms built from the same constructor always agree bucket-for-bucket
+// and merging is a plain count-wise sum. Quantiles are computed from bucket
+// counts alone — never from the order observations arrived — which makes them
+// exactly invariant across worker counts and, when the observed multiset is
+// partition-invariant, across shard counts too.
+//
+// Histogram is NOT safe for concurrent use: like the simulation it measures,
+// each shard owns its own instance and merging happens single-threaded in
+// shard-index order after the run.
+type Histogram struct {
+	lo        float64
+	perDecade int
+	// bounds[i] is the exclusive upper edge of bucket i; bucket i covers
+	// (bounds[i-1], bounds[i]] with bucket 0 covering (0, bounds[0]].
+	bounds []float64
+	// counts has len(bounds)+1 entries: one per bucket plus a final overflow
+	// bucket for observations above the top edge. Values at or below lo land
+	// in bucket 0.
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a log-scale histogram spanning decades powers of ten
+// upward from lo, with perDecade buckets per decade. The relative resolution
+// is 10^(1/perDecade): any quantile read off the histogram is within that
+// factor of the exact order statistic.
+func NewHistogram(lo float64, decades, perDecade int) *Histogram {
+	if lo <= 0 || decades <= 0 || perDecade <= 0 {
+		panic(fmt.Sprintf("telemetry: invalid histogram spec lo=%g decades=%d perDecade=%d", lo, decades, perDecade))
+	}
+	n := decades * perDecade
+	h := &Histogram{
+		lo:        lo,
+		perDecade: perDecade,
+		bounds:    make([]float64, n),
+		counts:    make([]uint64, n+1),
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+	}
+	for i := range h.bounds {
+		h.bounds[i] = lo * math.Pow(10, float64(i+1)/float64(perDecade))
+	}
+	return h
+}
+
+// NewLatencyHistogram is the stock latency histogram: milliseconds from 1 µs
+// to 1000 s across 9 decades, 12 buckets per decade (~21% bucket width, ~10%
+// worst-case quantile error against the exact order statistic).
+func NewLatencyHistogram() *Histogram { return NewHistogram(1e-3, 9, 12) }
+
+// Observe records one sample. NaN and negative values are dropped (latencies
+// and rates are non-negative by construction; recording them would poison the
+// deterministic sums).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.counts[h.bucket(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// bucket locates v's bucket index by binary search over the upper edges.
+func (h *Histogram) bucket(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(bounds) means overflow
+}
+
+// Merge folds other into h. Both must come from the same constructor spec;
+// merging incompatible histograms is a programming error and errors out
+// rather than silently mixing boundaries. Callers merge in shard-index order,
+// which keeps the (order-sensitive) float sum deterministic at any worker
+// count; bucket counts and the quantiles derived from them are additionally
+// order-independent.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if len(h.counts) != len(other.counts) || h.lo != other.lo || h.perDecade != other.perDecade {
+		return fmt.Errorf("telemetry: merging histograms with different boundaries (lo=%g/%g, buckets=%d/%d)",
+			h.lo, other.lo, len(h.counts), len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (merge-order dependent in the last
+// float ulp; use quantiles for partition-invariant statistics).
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean of observations, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact observed extremes (0 when empty). Both are
+// order-independent, so they are as partition-invariant as the multiset.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the p-th percentile (0 < p <= 100) using the same
+// ceil-rank convention as trace.Percentile, read off the bucket counts: the
+// returned value is the representative (log-midpoint) of the bucket holding
+// the rank-th observation, clamped to the exact Min/Max for the edge buckets.
+// Because only integer bucket counts enter the computation, the result is
+// bit-identical for any merge order of the same observation multiset.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return h.representative(i)
+		}
+	}
+	return h.max
+}
+
+// representative returns bucket i's reported value: the geometric midpoint of
+// its edges, clamped into the observed [min, max] so single-bucket and edge
+// cases report exact values.
+func (h *Histogram) representative(i int) float64 {
+	var v float64
+	switch {
+	case i == 0:
+		v = h.lo * math.Pow(10, 0.5/float64(h.perDecade))
+	case i >= len(h.bounds):
+		v = h.max
+	default:
+		v = math.Sqrt(h.bounds[i-1] * h.bounds[i])
+	}
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// RelativeResolution returns the worst-case multiplicative error of Quantile
+// against the exact order statistic: half a bucket in log space.
+func (h *Histogram) RelativeResolution() float64 {
+	return math.Pow(10, 0.5/float64(h.perDecade)) - 1
+}
+
+// Buckets returns the non-empty (upper-edge, count) pairs in ascending order,
+// for exposition and provenance output. The final overflow bucket reports
+// +Inf as its edge.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	var edges []float64
+	var counts []uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		edge := math.Inf(1)
+		if i < len(h.bounds) {
+			edge = h.bounds[i]
+		}
+		edges = append(edges, edge)
+		counts = append(counts, c)
+	}
+	return edges, counts
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Plane bundles the telemetry surfaces one run attaches: a metrics registry,
+// a phase profiler, the per-shard tracker, and (after merge) the fleet
+// latency histogram. A nil *Plane is a valid "telemetry off" value — every
+// method and every derived handle is a no-op — so specs carry a single
+// optional pointer and instrumented code never branches.
+type Plane struct {
+	Label string
+	Reg   *Registry
+	Prof  *Profiler
+	Track *Tracker
+
+	mu      sync.Mutex
+	latency *Histogram
+}
+
+// New returns a fully wired plane.
+func New(label string) *Plane {
+	return &Plane{
+		Label: label,
+		Reg:   NewRegistry(),
+		Prof:  NewProfiler(),
+		Track: NewTracker(),
+	}
+}
+
+// StartSpan opens a profiler span; no-op (nil span) on a nil plane.
+func (p *Plane) StartSpan(path string) *Span {
+	if p == nil {
+		return nil
+	}
+	return p.Prof.Start(path)
+}
+
+// SetLatency publishes the merged fleet latency histogram for exposition.
+func (p *Plane) SetLatency(h *Histogram) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.latency = h
+	p.mu.Unlock()
+}
+
+// Latency returns the last published merged latency histogram, nil if none.
+func (p *Plane) Latency() *Histogram {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latency
+}
+
+// WritePrometheus renders the whole plane in Prometheus text format:
+// registry metrics, tracker gauges, profiler phases, latency quantiles, and
+// a small runtime block.
+func (p *Plane) WritePrometheus(w io.Writer) {
+	if p == nil {
+		return
+	}
+	p.Reg.WritePrometheus(w)
+	p.Track.WritePrometheus(w)
+	p.Prof.WritePrometheus(w)
+	if h := p.Latency(); h.Count() > 0 {
+		fmt.Fprint(w, "# HELP fleet_latency_ms fleet latency quantiles (histogram-derived, milliseconds)\n")
+		fmt.Fprint(w, "# TYPE fleet_latency_ms gauge\n")
+		for _, q := range []float64{50, 95, 99} {
+			fmt.Fprintf(w, "fleet_latency_ms{quantile=\"%g\"} %g\n", q/100, h.Quantile(q))
+		}
+		fmt.Fprintf(w, "# HELP fleet_latency_samples_total latency observations\n# TYPE fleet_latency_samples_total counter\nfleet_latency_samples_total %d\n", h.Count())
+	}
+	fmt.Fprintf(w, "# HELP go_goroutines current goroutine count\n# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_gomaxprocs GOMAXPROCS\n# TYPE go_gomaxprocs gauge\ngo_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+}
+
+// WriteVars renders the plane as a flat expvar-style JSON object.
+func (p *Plane) WriteVars(w io.Writer) {
+	if p == nil {
+		fmt.Fprint(w, "{}\n")
+		return
+	}
+	fmt.Fprint(w, "{\n")
+	first := p.Reg.WriteVars(w, true)
+	snap := p.Track.Snapshot()
+	emit := func(name, val string) {
+		if !first {
+			fmt.Fprint(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", name, val)
+	}
+	emit("fleet_shards", fmt.Sprintf("%d", snap.Shards))
+	emit("fleet_shards_done", fmt.Sprintf("%d", snap.ShardsDone))
+	emit("fleet_sim_time_seconds", fmt.Sprintf("%g", snap.SimMax.Seconds()))
+	emit("fleet_events_total", fmt.Sprintf("%d", snap.Events))
+	emit("fleet_segments_total", fmt.Sprintf("%d", snap.Segments))
+	emit("fleet_flows_done", fmt.Sprintf("%d", snap.FlowsDone))
+	emit("fleet_flows_offered", fmt.Sprintf("%d", snap.FlowsOffered))
+	if h := p.Latency(); h.Count() > 0 {
+		emit("fleet_latency_p50_ms", fmt.Sprintf("%g", h.Quantile(50)))
+		emit("fleet_latency_p99_ms", fmt.Sprintf("%g", h.Quantile(99)))
+	}
+	fmt.Fprint(w, "\n}\n")
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress prints periodic one-line run status to a writer (stderr in
+// mptcpbench). It reads only atomic tracker snapshots, so it can run beside
+// the deterministic core without perturbing it; every number it prints is
+// wall-clock-derived and never feeds back into results.
+type Progress struct {
+	w        io.Writer
+	plane    *Plane
+	interval time.Duration
+
+	mu       sync.Mutex
+	stop     chan struct{}
+	done     chan struct{}
+	lastWall time.Time
+	lastSnap TrackerSnapshot
+}
+
+// StartProgress begins printing a status line every interval (default 1s)
+// until Stop. A nil plane returns a nil Progress whose Stop is a no-op.
+func StartProgress(w io.Writer, p *Plane, interval time.Duration) *Progress {
+	if p == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	pr := &Progress{
+		w:        w,
+		plane:    p,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastWall: time.Now(),
+	}
+	go pr.loop()
+	return pr
+}
+
+func (pr *Progress) loop() {
+	defer close(pr.done)
+	t := time.NewTicker(pr.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-pr.stop:
+			return
+		case <-t.C:
+			pr.print()
+		}
+	}
+}
+
+// Stop halts the ticker and prints one final line so short runs still show a
+// terminal status. Safe on a nil receiver and safe to call once.
+func (pr *Progress) Stop() {
+	if pr == nil {
+		return
+	}
+	close(pr.stop)
+	<-pr.done
+	pr.print()
+}
+
+func (pr *Progress) print() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	now := time.Now()
+	snap := pr.plane.Track.Snapshot()
+	dt := now.Sub(pr.lastWall).Seconds()
+	var evRate, segRate float64
+	if dt > 0 {
+		evRate = float64(snap.Events-pr.lastSnap.Events) / dt
+		segRate = float64(snap.Segments-pr.lastSnap.Segments) / dt
+	}
+	wall := now.Sub(pr.plane.Track.Start())
+	speed := 0.0
+	if wall > 0 {
+		speed = snap.SimMax.Seconds() / wall.Seconds()
+	}
+	line := fmt.Sprintf("progress[%s]: sim %.3fs wall %.1fs (%.2fx) | %s ev/s | %s seg/s | flows %d/%d | shards %d/%d done",
+		pr.plane.Label, snap.SimMax.Seconds(), wall.Seconds(), speed,
+		fmtRate(evRate), fmtRate(segRate),
+		snap.FlowsDone, snap.FlowsOffered, snap.ShardsDone, snap.Shards)
+	if snap.LagShard >= 0 && snap.MaxLag > 0 {
+		line += fmt.Sprintf(" | lag shard%d +%v", snap.LagShard, snap.MaxLag.Round(time.Millisecond))
+	}
+	fmt.Fprintln(pr.w, line)
+	pr.lastWall = now
+	pr.lastSnap = snap
+}
+
+func fmtRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardCell is the per-shard publication slot: the shard's step loop stores
+// into it with plain atomic writes, and progress/exposition goroutines read
+// it without ever blocking the simulation. One cell per shard, allocated
+// once at attach time — the hot path performs no allocation or locking.
+type ShardCell struct {
+	// SimNowNs is the shard simulator's current virtual time.
+	SimNowNs atomic.Int64
+	// Events counts simulator events processed; Segments counts data
+	// segments sent across the shard's links.
+	Events   atomic.Uint64
+	Segments atomic.Uint64
+	// FlowsDone / FlowsOffered track workload completion within the shard.
+	FlowsDone    atomic.Int64
+	FlowsOffered atomic.Int64
+	// EpochWallNs is the wall-clock cost of the shard's last coupled epoch
+	// window (straggler detection at the barrier).
+	EpochWallNs atomic.Int64
+	// Done flips once the shard has been collected.
+	Done atomic.Bool
+}
+
+// Tracker owns the shard cells and computes fleet-wide snapshots for
+// progress lines and /metrics.
+type Tracker struct {
+	mu    sync.Mutex
+	start time.Time
+	cells []*ShardCell
+}
+
+// NewTracker returns a tracker; the wall-clock origin for progress rates is
+// the moment of creation.
+func NewTracker() *Tracker {
+	return &Tracker{start: time.Now()}
+}
+
+// Cell returns shard index's publication slot, sizing the table to count on
+// first use. Safe to call from concurrent shard setup; nil-receiver safe.
+func (t *Tracker) Cell(index, count int) *ShardCell {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if count > len(t.cells) {
+		grown := make([]*ShardCell, count)
+		copy(grown, t.cells)
+		t.cells = grown
+	}
+	if index < 0 || index >= len(t.cells) {
+		return nil
+	}
+	if t.cells[index] == nil {
+		t.cells[index] = &ShardCell{}
+	}
+	return t.cells[index]
+}
+
+// Start returns the tracker's wall-clock origin.
+func (t *Tracker) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// TrackerSnapshot is a consistent-enough read of the fleet state: each field
+// is individually atomic; cross-field skew is bounded by one publish
+// interval, which is fine for progress display.
+type TrackerSnapshot struct {
+	Shards       int
+	ShardsDone   int
+	SimMin       time.Duration // slowest active shard (0 when all done)
+	SimMax       time.Duration // fastest shard
+	Events       uint64
+	Segments     uint64
+	FlowsDone    int64
+	FlowsOffered int64
+	MaxLag       time.Duration // SimMax - sim of the laggiest active shard
+	LagShard     int           // index of that shard, -1 when none
+	MaxEpochWall time.Duration
+}
+
+func (t *Tracker) snapshotCells() []*ShardCell {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*ShardCell, len(t.cells))
+	copy(out, t.cells)
+	return out
+}
+
+// Snapshot folds the shard cells into fleet totals.
+func (t *Tracker) Snapshot() TrackerSnapshot {
+	snap := TrackerSnapshot{LagShard: -1}
+	if t == nil {
+		return snap
+	}
+	cells := t.snapshotCells()
+	first := true
+	for i, c := range cells {
+		if c == nil {
+			continue
+		}
+		snap.Shards++
+		now := time.Duration(c.SimNowNs.Load())
+		done := c.Done.Load()
+		if done {
+			snap.ShardsDone++
+		}
+		snap.Events += c.Events.Load()
+		snap.Segments += c.Segments.Load()
+		snap.FlowsDone += c.FlowsDone.Load()
+		snap.FlowsOffered += c.FlowsOffered.Load()
+		if w := time.Duration(c.EpochWallNs.Load()); w > snap.MaxEpochWall {
+			snap.MaxEpochWall = w
+		}
+		if now > snap.SimMax {
+			snap.SimMax = now
+		}
+		if !done {
+			if first || now < snap.SimMin {
+				snap.SimMin = now
+				snap.LagShard = i
+				first = false
+			}
+		}
+	}
+	if snap.LagShard >= 0 {
+		snap.MaxLag = snap.SimMax - snap.SimMin
+	}
+	return snap
+}
+
+// WritePrometheus renders per-shard gauges plus fleet totals.
+func (t *Tracker) WritePrometheus(w io.Writer) {
+	if t == nil {
+		return
+	}
+	cells := t.snapshotCells()
+	if len(cells) == 0 {
+		return
+	}
+	var simMax time.Duration
+	for _, c := range cells {
+		if c == nil {
+			continue
+		}
+		if now := time.Duration(c.SimNowNs.Load()); now > simMax {
+			simMax = now
+		}
+	}
+	emit := func(name, help, typ string, value func(*ShardCell) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i, c := range cells {
+			if c == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s{shard=\"%d\"} %s\n", name, i, value(c))
+		}
+	}
+	emit("fleet_shard_sim_time_seconds", "shard simulator virtual time", "gauge",
+		func(c *ShardCell) string { return fmt.Sprintf("%g", time.Duration(c.SimNowNs.Load()).Seconds()) })
+	emit("fleet_shard_step_lag_seconds", "sim-time gap behind the fastest shard (active shards only)", "gauge",
+		func(c *ShardCell) string {
+			if c.Done.Load() {
+				return "0"
+			}
+			return fmt.Sprintf("%g", (simMax - time.Duration(c.SimNowNs.Load())).Seconds())
+		})
+	emit("fleet_shard_events_total", "simulator events processed", "counter",
+		func(c *ShardCell) string { return fmt.Sprintf("%d", c.Events.Load()) })
+	emit("fleet_shard_segments_total", "data segments sent", "counter",
+		func(c *ShardCell) string { return fmt.Sprintf("%d", c.Segments.Load()) })
+	emit("fleet_shard_flows_done", "workload flows finished", "gauge",
+		func(c *ShardCell) string { return fmt.Sprintf("%d", c.FlowsDone.Load()) })
+	emit("fleet_shard_flows_offered", "workload flows offered", "gauge",
+		func(c *ShardCell) string { return fmt.Sprintf("%d", c.FlowsOffered.Load()) })
+	emit("fleet_shard_epoch_wall_seconds", "wall-clock of the last coupled epoch window", "gauge",
+		func(c *ShardCell) string { return fmt.Sprintf("%g", time.Duration(c.EpochWallNs.Load()).Seconds()) })
+
+	snap := t.Snapshot()
+	fmt.Fprintf(w, "# HELP fleet_shards shard count\n# TYPE fleet_shards gauge\nfleet_shards %d\n", snap.Shards)
+	fmt.Fprintf(w, "# HELP fleet_shards_done shards collected\n# TYPE fleet_shards_done gauge\nfleet_shards_done %d\n", snap.ShardsDone)
+	fmt.Fprintf(w, "# HELP fleet_sim_time_seconds fastest shard virtual time\n# TYPE fleet_sim_time_seconds gauge\nfleet_sim_time_seconds %g\n", snap.SimMax.Seconds())
+	fmt.Fprintf(w, "# HELP fleet_events_total simulator events processed across shards\n# TYPE fleet_events_total counter\nfleet_events_total %d\n", snap.Events)
+	fmt.Fprintf(w, "# HELP fleet_segments_total data segments sent across shards\n# TYPE fleet_segments_total counter\nfleet_segments_total %d\n", snap.Segments)
+}
